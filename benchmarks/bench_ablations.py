@@ -1,0 +1,64 @@
+"""Ablation benchmarks (E7 + DESIGN.md extras).
+
+* Topology adaptation: kill nodes mid-run; delivery quality must recover
+  after LMAC's cross-layer notifications and the tree repair (paper §4.2).
+* ATC target sweep: the achieved cost ratio tracks the configured target,
+  demonstrating that the controller (not a lucky constant) produces the
+  45-55 % band.
+* Channel loss: DirQ's directed unicasts vs increasing packet loss.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+from .conftest import emit
+
+
+def test_topology_adaptation(benchmark, bench_seed):
+    """E7: node failures mid-run; routing recovers via cross-layer adaptation."""
+    result = benchmark.pedantic(
+        lambda: ablations.run_topology_ablation(
+            num_epochs=1_000, failure_epoch=400, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E7 -- topology adaptation ablation", ablations.report_topology(result))
+    assert result.queries_after > 0
+    assert result.completeness_after > 0.85
+    assert result.completeness_after > result.completeness_before - 0.1
+
+
+def test_atc_target_sweep(benchmark, bench_seed):
+    """The achieved DirQ/flooding ratio follows the configured ATC target."""
+    points = benchmark.pedantic(
+        lambda: ablations.run_atc_target_sweep(
+            targets=(0.35, 0.5, 0.65), num_epochs=1_200, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation -- ATC target-ratio sweep", ablations.report_atc_targets(points))
+    achieved = [p.achieved_ratio for p in points]
+    # Monotone: asking for a larger budget produces a larger realised ratio.
+    assert achieved[0] < achieved[1] < achieved[2]
+    # And more budget buys more updates.
+    updates = [p.mean_updates_per_window for p in points]
+    assert updates[0] < updates[2]
+
+
+def test_channel_loss_sensitivity(benchmark, bench_seed):
+    """DirQ delivery quality degrades gracefully with packet loss."""
+    points = benchmark.pedantic(
+        lambda: ablations.run_loss_ablation(
+            loss_rates=(0.0, 0.1, 0.2), num_epochs=600, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation -- channel loss sensitivity", ablations.report_loss(points))
+    completeness = [p.completeness for p in points]
+    assert completeness[0] > 0.9
+    # Monotone non-increasing delivery with loss (allowing small noise).
+    assert completeness[2] <= completeness[0] + 0.02

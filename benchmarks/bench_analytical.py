@@ -1,0 +1,45 @@
+"""Benchmark / reproduction of the §5 analytical model (worked example E5).
+
+Regenerates the paper's k = 2, d = 4 example (f_max ≈ 0.76) and the closed
+form vs enumeration consistency table.  The timed portion is the full
+analytical sweep including brute-force tree enumeration.
+"""
+
+from repro.core.analytical import f_max, paper_example
+from repro.experiments import table_analytical
+
+from .conftest import emit
+
+
+def test_analytical_table(benchmark):
+    """E5: §5.3 worked example and eqs. (3)-(9) vs tree enumeration."""
+
+    def run():
+        return table_analytical.run()
+
+    rows, checks, example = benchmark(run)
+    emit(
+        "E5 -- Analytical cost model (paper §5; f_max for k=2,d=4 reported as <0.76)",
+        table_analytical.report(rows, checks, example),
+    )
+    assert all(c.consistent for c in checks)
+    assert 0.74 < example["f_max"] < 0.78
+
+
+def test_fmax_large_trees(benchmark):
+    """Closed-form f_max evaluation over the paper's (k=8, d=10)-sized trees."""
+
+    def run():
+        return [f_max(k, d) for k in (2, 4, 8) for d in range(1, 11)]
+
+    values = benchmark(run)
+    # f_max is exactly 1 for depth-1 trees (dissemination already saves the
+    # whole flooding reception overhead) and decreases towards ~0.75 deeper.
+    assert all(0.5 < v <= 1.0 for v in values)
+    example = paper_example()
+    emit(
+        "f_max sweep",
+        "k in {2,4,8}, d in 1..10 -> f_max ranges "
+        f"[{min(values):.3f}, {max(values):.3f}]; paper example k=2,d=4: "
+        f"{example['f_max']:.3f}",
+    )

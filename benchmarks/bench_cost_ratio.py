@@ -1,0 +1,51 @@
+"""Benchmark / reproduction of the headline claim (E6).
+
+"DirQ spends between 45 % and 55 % the cost of flooding" (abstract, §6,
+§7.2) with an average overshoot of a few percent.  DirQ (with ATC) and the
+flooding baseline run on the same topology, dataset and query schedule.
+"""
+
+import pytest
+
+from repro.experiments import headline
+from repro.experiments.scenarios import paper_network
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def headline_result(bench_epochs, bench_seed):
+    return headline.run(
+        num_epochs=bench_epochs,
+        target_coverage=0.4,
+        seed=bench_seed,
+        base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
+    )
+
+
+def test_headline_cost_ratio(benchmark, headline_result):
+    """E6: total DirQ(ATC) cost vs flooding cost on an identical workload."""
+    result = benchmark.pedantic(lambda: headline_result, rounds=1, iterations=1)
+    emit("E6 -- headline DirQ vs flooding comparison", headline.report(result))
+
+    # The flooding side is exact (eq. 3), so the ratio is meaningful.
+    assert result.flooding.breakdown.flood_cost == pytest.approx(
+        result.flooding.flooding_cost_per_query * result.flooding.num_queries
+    )
+    # Paper band is 45-55%; scaled-down runs carry a heavier start-up
+    # transient, so accept a slightly wider neighbourhood around one half.
+    assert 0.35 <= result.cost_ratio <= 0.75
+    # And DirQ must never be more expensive than flooding.
+    assert result.comparison.dirq_total < result.comparison.flooding_total
+
+
+def test_headline_accuracy_cost_tradeoff(benchmark, headline_result):
+    """DirQ's savings do not come from silently dropping queries."""
+    result = benchmark.pedantic(lambda: headline_result, rounds=1, iterations=1)
+    emit(
+        "E6 -- delivery quality",
+        f"source completeness = {result.dirq_completeness:.3f}, "
+        f"mean overshoot = {result.dirq_overshoot_pp:.2f} pp",
+    )
+    assert result.dirq_completeness > 0.9
+    assert result.dirq_overshoot_pp < 50.0

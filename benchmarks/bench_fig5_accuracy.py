@@ -1,0 +1,59 @@
+"""Benchmark / reproduction of Fig. 5 (E1, E2): effect of δ on accuracy.
+
+One simulation per (δ, coverage) point.  Expected shape (paper Fig. 5a/5b):
+the percentage of nodes that actually RECEIVE a query grows above the
+percentage that SHOULD receive it as δ increases, and the gap is smaller at
+60 % coverage than at 40 %.
+"""
+
+import pytest
+
+from repro.experiments import fig5_accuracy
+from repro.experiments.scenarios import paper_network
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig5_result(bench_epochs, bench_seed):
+    return fig5_accuracy.run(
+        deltas=(1.0, 3.0, 5.0, 9.0),
+        coverages=(0.4, 0.6),
+        num_epochs=bench_epochs,
+        seed=bench_seed,
+        base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
+    )
+
+
+def test_fig5a_40pct_relevant(benchmark, fig5_result):
+    """E1 -- Fig. 5(a): 40% relevant nodes."""
+    points = benchmark.pedantic(
+        lambda: fig5_result.points_for(0.4), rounds=1, iterations=1
+    )
+    emit("E1 -- Fig. 5(a) (40% relevant nodes)", fig5_accuracy.report(fig5_result))
+    # Receive >= should for every delta, and the gap grows with delta.
+    gaps = [p.receive_pct - p.should_receive_pct for p in points]
+    assert all(g >= -1.0 for g in gaps)
+    assert gaps[-1] > gaps[0]
+    # Source percentage is independent of delta (ground truth property).
+    sources = [p.source_pct for p in points]
+    assert max(sources) - min(sources) < 1.0
+
+
+def test_fig5b_60pct_relevant(benchmark, fig5_result):
+    """E2 -- Fig. 5(b): 60% relevant nodes (delta effect less pronounced)."""
+    points_60 = benchmark.pedantic(
+        lambda: fig5_result.points_for(0.6), rounds=1, iterations=1
+    )
+    points_40 = fig5_result.points_for(0.4)
+    gap_60 = points_60[-1].receive_pct - points_60[-1].should_receive_pct
+    gap_40 = points_40[-1].receive_pct - points_40[-1].should_receive_pct
+    emit(
+        "E2 -- Fig. 5(b) (60% relevant nodes)",
+        f"overshoot gap at delta=9%: 40% coverage -> {gap_40:.1f} pp, "
+        f"60% coverage -> {gap_60:.1f} pp (paper: effect less pronounced at "
+        "higher coverage)",
+    )
+    assert gap_60 < gap_40 + 2.0
+    # With 60% of nodes already relevant, the receive curve saturates below 100%.
+    assert all(p.receive_pct <= 100.0 for p in points_60)

@@ -1,0 +1,62 @@
+"""Benchmark / reproduction of Fig. 6 (E3): update messages per 100 epochs.
+
+Expected shape (paper Fig. 6, 40% relevant nodes): a small fixed δ (3 %)
+transmits far more update messages than the U_max budget, a large fixed δ
+(9 %) far fewer, and the ATC series settles inside (or near) the
+0.45–0.55 × U_max band — which is where DirQ's total cost sits at roughly
+half the cost of flooding.
+"""
+
+import pytest
+
+from repro.experiments import fig6_updates
+from repro.experiments.scenarios import paper_network
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig6_result(bench_epochs, bench_seed):
+    return fig6_updates.run(
+        deltas=(3.0, 5.0, 9.0),
+        num_epochs=bench_epochs,
+        target_coverage=0.4,
+        seed=bench_seed,
+        base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
+    )
+
+
+def test_fig6_update_rate_series(benchmark, fig6_result):
+    """E3 -- Fig. 6: update transmissions per window for fixed δ and ATC."""
+    result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
+    emit("E3 -- Fig. 6 (update messages per 100 epochs, 40% relevant nodes)",
+         fig6_updates.report(result))
+
+    mean3 = result.mean_updates["delta=3%"]
+    mean9 = result.mean_updates["delta=9%"]
+    mean_atc = result.mean_updates["atc"]
+    umax = result.umax_per_window
+
+    # Ordering: tighter thresholds transmit more updates.
+    assert mean3 > result.mean_updates["delta=5%"] > mean9
+    # delta=3% blows straight through the budget (the paper's motivation for ATC).
+    assert mean3 > umax
+    # The ATC stays at or below the budget and inside/near the target band
+    # once the start-up transient has passed.
+    steady_atc = [p.value for p in result.series.series["atc"]][2:]
+    steady_mean = sum(steady_atc) / max(1, len(steady_atc))
+    assert steady_mean < umax
+    assert steady_mean > 0.2 * umax
+
+
+def test_fig6_atc_cost_band(benchmark, fig6_result):
+    """The cost consequence of Fig. 6: ATC total cost ~ half of flooding."""
+    ratios = benchmark.pedantic(lambda: fig6_result.cost_ratios, rounds=1, iterations=1)
+    emit(
+        "E3 -- total cost / flooding per setting",
+        "\n".join(f"  {name:>10s} : {ratio:.3f}" for name, ratio in sorted(ratios.items())),
+    )
+    # Fixed delta=3% exceeds flooding (the failure mode ATC exists to avoid);
+    # ATC lands in the neighbourhood of one half.
+    assert ratios["delta=3%"] > 1.0
+    assert 0.35 <= ratios["atc"] <= 0.75

@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the rows / series the corresponding paper artefact
+reports, so the console output of ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction record (EXPERIMENTS.md summarises the same
+numbers).
+
+The simulations here are scaled down from the paper's 20 000 epochs so the
+whole harness finishes in a few minutes; the ``repro.experiments`` modules
+accept ``num_epochs=20_000`` for full-length runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Epoch budget used by the figure benchmarks.  Override with
+#: ``REPRO_BENCH_EPOCHS=20000`` for paper-length runs.
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "1200"))
+
+#: Seed shared by every benchmark run.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_epochs() -> int:
+    return BENCH_EPOCHS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited report block."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Heterogeneous networks: different nodes carry different sensor subsets.
+
+Fig. 4 of the paper shows a node maintaining Range Tables for sensor types
+it does not itself possess, because the types exist deeper in its subtree --
+this is what lets DirQ support heterogeneous deployments (unlike the
+homogeneous-only architectures it compares against).
+
+This example mounts a random subset of two of the four sensor types on each
+node, runs DirQ, and then inspects the network:
+
+* how many Range Tables each node ended up maintaining vs how many sensors
+  it physically carries;
+* that queries for every type remain routable and accurate even though no
+  single node carries all of them.
+
+Run with::
+
+    python examples/heterogeneous_sensors.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.accuracy import delivery_completeness, fig5_percentages
+from repro.metrics.report import format_table
+from repro.sensors.types import DEFAULT_SENSOR_TYPES
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        num_nodes=50,
+        num_epochs=1_000,
+        query_period=20,
+        target_coverage=0.4,
+        query_sensor_type=None,   # queries drawn over all four types
+        sensors_per_node=2,       # each node carries a random pair of types
+        seed=13,
+    ).with_fixed_delta(5.0)
+
+    runner = ExperimentRunner(config)
+    world = runner.build()
+
+    ownership = Counter()
+    for stype, owners in world.sensor_owners.items():
+        ownership[stype] = len(owners)
+    print("Sensor ownership (nodes carrying each type, out of 50):")
+    for stype in DEFAULT_SENSOR_TYPES:
+        print(f"  {stype:12s}: {ownership[stype]} nodes")
+
+    print("\nRunning 1 000 epochs with mixed-type queries...")
+    result = runner.run()
+
+    # Range-table footprint vs physical sensors (the Fig. 4 property).
+    rows = []
+    for depth in range(result.tree.depth + 1):
+        nodes_at_depth = [n for n in result.tree.node_ids if result.tree.depth_of(n) == depth]
+        if not nodes_at_depth:
+            continue
+        tables = [len(world.protocols[n].tables.sensor_types) for n in nodes_at_depth]
+        sensors = [len(world.nodes[n].sensor_types) for n in nodes_at_depth]
+        rows.append(
+            (
+                depth,
+                len(nodes_at_depth),
+                sum(sensors) / len(sensors),
+                sum(tables) / len(tables),
+            )
+        )
+    print()
+    print(
+        format_table(
+            headers=["tree depth", "nodes", "avg sensors mounted", "avg range tables kept"],
+            rows=rows,
+            title="Range tables exist for every type present in the subtree (Fig. 4)",
+        )
+    )
+    print(
+        "\nNodes close to the root keep tables for (almost) all four types even"
+        " though they carry only two sensors; leaves keep tables only for their own."
+    )
+
+    # Per-type routing quality.
+    print()
+    by_type = {}
+    for record in result.audit.records:
+        by_type.setdefault(record.query.sensor_type, []).append(record)
+    rows = []
+    for stype, records in sorted(by_type.items()):
+        point = fig5_percentages(records, config.num_nodes - 1, 5.0, 0.4)
+        rows.append(
+            (
+                stype,
+                len(records),
+                delivery_completeness(records),
+                point.receive_pct,
+                point.should_receive_pct,
+            )
+        )
+    print(
+        format_table(
+            headers=["sensor type", "queries", "source completeness", "receive %", "should %"],
+            rows=rows,
+            float_format="{:.2f}",
+            title="Per-type query routing quality in the heterogeneous network",
+        )
+    )
+    print(f"\nOverall cost ratio vs flooding: {result.cost_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

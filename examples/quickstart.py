@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: run DirQ against flooding on a small sensor network.
+
+This example builds a 20-node environmental sensing network, runs the DirQ
+dissemination scheme with the Adaptive Threshold Control for 800 epochs with
+a range query injected every 20 epochs, runs the flooding baseline on the
+identical workload, and prints the cost and accuracy comparison -- the
+repository's smallest end-to-end demonstration of the paper's headline
+claim.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DirQConfig
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics.accuracy import delivery_completeness, mean_overshoot
+from repro.metrics.report import format_key_values
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        num_nodes=20,
+        comm_range=35.0,
+        num_epochs=800,
+        query_period=20,
+        target_coverage=0.4,
+        query_sensor_type="temperature",
+        seed=7,
+        dirq=DirQConfig(epochs_per_hour=200),
+    )
+
+    print("Running DirQ (Adaptive Threshold Control)...")
+    dirq = run_experiment(config.with_atc())
+
+    print("Running the flooding baseline on the same workload...")
+    flooding = run_experiment(config.with_flooding())
+
+    ratio = dirq.total_dirq_cost / flooding.breakdown.flood_cost
+    print()
+    print(
+        format_key_values(
+            "DirQ vs flooding (20 nodes, 800 epochs, one query every 20 epochs)",
+            [
+                ("queries injected", dirq.num_queries),
+                ("flooding total cost (tx+rx units)", flooding.breakdown.flood_cost),
+                ("DirQ total cost", dirq.total_dirq_cost),
+                ("  - query dissemination", dirq.breakdown.query_cost),
+                ("  - range updates", dirq.breakdown.update_cost),
+                ("  - hourly estimates", dirq.breakdown.estimate_cost),
+                ("DirQ / flooding cost ratio", ratio),
+                ("mean overshoot (percentage points)", mean_overshoot(dirq.audit.records)),
+                ("fraction of true sources reached", delivery_completeness(dirq.audit.records)),
+            ],
+        )
+    )
+    print()
+    print(
+        "The paper reports DirQ settling at 45-55% of the flooding cost; short"
+        " runs sit slightly above the band because of the start-up transient."
+    )
+
+
+if __name__ == "__main__":
+    main()

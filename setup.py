@@ -1,0 +1,4 @@
+"""Setup shim for environments without PEP 660 editable-install support."""
+from setuptools import setup
+
+setup()

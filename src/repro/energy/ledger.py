@@ -1,0 +1,138 @@
+"""Per-node and network-wide energy / message ledgers.
+
+The ledgers are the measurement backbone of every reproduced figure: the
+paper's "cost" metric is the total of transmission and reception units, and
+its update/query breakdowns (Fig. 6, the 45–55 % claim) require attributing
+each unit to a message *kind*.  Every radio operation performed through the
+channel is recorded here, tagged with the node, the direction, and the kind
+of protocol message that caused it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, Iterable, Optional, Tuple
+
+
+@dataclasses.dataclass
+class EnergyEntry:
+    """Accumulated cost and count for one (direction, kind) bucket."""
+
+    count: int = 0
+    cost: float = 0.0
+
+    def add(self, cost: float) -> None:
+        self.count += 1
+        self.cost += cost
+
+
+class NodeLedger:
+    """Energy and message bookkeeping for a single node."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._entries: Dict[Tuple[str, str], EnergyEntry] = defaultdict(EnergyEntry)
+
+    def charge_tx(self, kind: str, cost: float) -> None:
+        """Record one transmission of a message of the given kind."""
+        self._entries[("tx", kind)].add(cost)
+
+    def charge_rx(self, kind: str, cost: float) -> None:
+        """Record one reception of a message of the given kind."""
+        self._entries[("rx", kind)].add(cost)
+
+    # -- queries -----------------------------------------------------------
+
+    def total_cost(self, kinds: Optional[Iterable[str]] = None) -> float:
+        """Total energy cost, optionally restricted to certain message kinds."""
+        wanted = set(kinds) if kinds is not None else None
+        return sum(
+            e.cost
+            for (_, kind), e in self._entries.items()
+            if wanted is None or kind in wanted
+        )
+
+    def count(self, direction: Optional[str] = None, kind: Optional[str] = None) -> int:
+        """Number of recorded operations matching the filters."""
+        total = 0
+        for (d, k), e in self._entries.items():
+            if direction is not None and d != direction:
+                continue
+            if kind is not None and k != kind:
+                continue
+            total += e.count
+        return total
+
+    def breakdown(self) -> Dict[Tuple[str, str], Tuple[int, float]]:
+        """Mapping of (direction, kind) -> (count, cost)."""
+        return {key: (e.count, e.cost) for key, e in self._entries.items()}
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+
+class NetworkLedger:
+    """Aggregates :class:`NodeLedger` instances for a whole network.
+
+    The channel holds one :class:`NetworkLedger`; protocols never write to it
+    directly, they simply send messages and the channel charges the costs.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, NodeLedger] = {}
+
+    def node(self, node_id: int) -> NodeLedger:
+        """Ledger for ``node_id``, created on first access."""
+        if node_id not in self._nodes:
+            self._nodes[node_id] = NodeLedger(node_id)
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    # -- network-wide aggregation -------------------------------------------
+
+    def total_cost(self, kinds: Optional[Iterable[str]] = None) -> float:
+        """Network-wide energy cost, optionally restricted to message kinds."""
+        return sum(ledger.total_cost(kinds) for ledger in self._nodes.values())
+
+    def total_count(
+        self, direction: Optional[str] = None, kind: Optional[str] = None
+    ) -> int:
+        """Network-wide operation count matching the filters."""
+        return sum(ledger.count(direction, kind) for ledger in self._nodes.values())
+
+    def per_node_cost(self, kinds: Optional[Iterable[str]] = None) -> Dict[int, float]:
+        """Mapping node id -> total cost for that node."""
+        return {nid: ledger.total_cost(kinds) for nid, ledger in self._nodes.items()}
+
+    def kinds(self) -> set[str]:
+        """All message kinds that have been charged so far."""
+        found: set[str] = set()
+        for ledger in self._nodes.values():
+            for (_, kind) in ledger.breakdown():
+                found.add(kind)
+        return found
+
+    def breakdown_by_kind(self) -> Dict[str, Tuple[int, float]]:
+        """Mapping kind -> (total operation count, total cost) network-wide."""
+        agg: Dict[str, Tuple[int, float]] = {}
+        for ledger in self._nodes.values():
+            for (_, kind), (count, cost) in ledger.breakdown().items():
+                c0, e0 = agg.get(kind, (0, 0.0))
+                agg[kind] = (c0 + count, e0 + cost)
+        return agg
+
+    def reset(self) -> None:
+        """Zero every node ledger (keeps the node set)."""
+        for ledger in self._nodes.values():
+            ledger.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Cheap network-wide snapshot: kind -> cost.  Useful for windowed series."""
+        return {kind: cost for kind, (_, cost) in self.breakdown_by_kind().items()}

@@ -1,0 +1,24 @@
+"""Experiment harness: configuration, runner, and per-figure reproductions."""
+
+from .config import ExperimentConfig, ProtocolName, TopologyEvent, paper_defaults
+from .runner import ExperimentResult, ExperimentRunner, run_experiment
+from .scenarios import (
+    heterogeneous_scenario,
+    node_failure_scenario,
+    paper_network,
+    small_network,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ProtocolName",
+    "TopologyEvent",
+    "paper_defaults",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "run_experiment",
+    "heterogeneous_scenario",
+    "node_failure_scenario",
+    "paper_network",
+    "small_network",
+]

@@ -1,0 +1,201 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify the contribution of
+individual mechanisms:
+
+* **Topology adaptation** (E7): kill a batch of nodes mid-run and measure
+  query delivery completeness before and after; the cross-layer
+  notifications plus tree repair should restore routing within a few epochs.
+* **Estimate / prediction quality**: compare the ATC driven by the query-
+  rate predictor against an oracle that knows the exact future load.
+* **Channel loss**: DirQ's directed unicasts vs flooding's redundant
+  broadcasts under increasing packet loss (flooding is naturally more loss
+  tolerant; this quantifies the accuracy cost of DirQ's efficiency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.accuracy import delivery_completeness, mean_overshoot
+from ..metrics.report import format_table
+from .config import ExperimentConfig, TopologyEvent
+from .runner import run_experiment
+from .scenarios import node_failure_scenario, paper_network
+
+
+# ---------------------------------------------------------------------------
+# Topology adaptation (node failures)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyAblationResult:
+    """Delivery quality before and after scripted node failures."""
+
+    failure_epoch: int
+    failed_nodes: Sequence[int]
+    completeness_before: float
+    completeness_after: float
+    overshoot_before: float
+    overshoot_after: float
+    queries_before: int
+    queries_after: int
+
+
+def run_topology_ablation(
+    num_epochs: int = 1_200,
+    failure_epoch: int = 400,
+    failures: Optional[List[int]] = None,
+    settle_epochs: int = 100,
+    seed: int = 11,
+) -> TopologyAblationResult:
+    """Kill nodes mid-run and compare delivery quality before vs after.
+
+    ``settle_epochs`` excludes the queries injected while LMAC is still
+    detecting the deaths (its death threshold is a few beacon intervals), so
+    "after" measures the repaired steady state.
+    """
+    config = node_failure_scenario(
+        num_epochs=num_epochs,
+        failures=failures,
+        failure_epoch=failure_epoch,
+        seed=seed,
+    ).with_atc()
+    result = run_experiment(config)
+    failed = [e.node_id for e in config.topology_events]
+    before = result.audit.records_between(0, failure_epoch - 1)
+    after = result.audit.records_between(
+        failure_epoch + settle_epochs, num_epochs
+    )
+    return TopologyAblationResult(
+        failure_epoch=failure_epoch,
+        failed_nodes=failed,
+        completeness_before=delivery_completeness(before),
+        completeness_after=delivery_completeness(after),
+        overshoot_before=mean_overshoot(before),
+        overshoot_after=mean_overshoot(after),
+        queries_before=len(before),
+        queries_after=len(after),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Channel loss sensitivity
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class LossPoint:
+    """DirQ delivery quality at one channel loss rate."""
+
+    loss_probability: float
+    completeness: float
+    overshoot: float
+    cost_ratio: float
+
+
+def run_loss_ablation(
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    num_epochs: int = 800,
+    seed: int = 5,
+) -> List[LossPoint]:
+    """Evaluate DirQ (ATC) under increasing packet loss."""
+    base = paper_network(num_epochs=num_epochs, seed=seed).with_atc()
+    points: List[LossPoint] = []
+    for loss in loss_rates:
+        result = run_experiment(base.replace(channel_loss=loss))
+        records = result.audit.records
+        points.append(
+            LossPoint(
+                loss_probability=loss,
+                completeness=delivery_completeness(records),
+                overshoot=mean_overshoot(records),
+                cost_ratio=result.cost_ratio,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# ATC target sweep (how the target ratio maps to the achieved ratio)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AtcTargetPoint:
+    """Achieved cost ratio and overshoot for one ATC target setting."""
+
+    target_ratio: float
+    achieved_ratio: float
+    overshoot: float
+    mean_updates_per_window: float
+
+
+def run_atc_target_sweep(
+    targets: Sequence[float] = (0.35, 0.5, 0.65),
+    num_epochs: int = 1_500,
+    seed: int = 3,
+) -> List[AtcTargetPoint]:
+    """Sweep the ATC's cost-ratio target and record what it achieves."""
+    base = paper_network(num_epochs=num_epochs, seed=seed)
+    points: List[AtcTargetPoint] = []
+    for target in targets:
+        result = run_experiment(base.with_atc(target_cost_ratio=target))
+        updates = result.updates_per_window()
+        points.append(
+            AtcTargetPoint(
+                target_ratio=target,
+                achieved_ratio=result.cost_ratio,
+                overshoot=mean_overshoot(result.audit.records),
+                mean_updates_per_window=(
+                    sum(updates) / len(updates) if updates else 0.0
+                ),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+def report_topology(result: TopologyAblationResult) -> str:
+    return format_table(
+        headers=["phase", "queries", "source completeness", "overshoot pp"],
+        rows=[
+            ("before failures", result.queries_before, result.completeness_before, result.overshoot_before),
+            ("after repair", result.queries_after, result.completeness_after, result.overshoot_after),
+        ],
+        float_format="{:.3f}",
+        title=(
+            f"Topology adaptation: nodes {list(result.failed_nodes)} killed at "
+            f"epoch {result.failure_epoch}"
+        ),
+    )
+
+
+def report_loss(points: Sequence[LossPoint]) -> str:
+    return format_table(
+        headers=["loss prob", "source completeness", "overshoot pp", "cost ratio"],
+        rows=[
+            (p.loss_probability, p.completeness, p.overshoot, p.cost_ratio)
+            for p in points
+        ],
+        float_format="{:.3f}",
+        title="Channel-loss sensitivity (DirQ with ATC)",
+    )
+
+
+def report_atc_targets(points: Sequence[AtcTargetPoint]) -> str:
+    return format_table(
+        headers=["target ratio", "achieved ratio", "overshoot pp", "updates/window"],
+        rows=[
+            (p.target_ratio, p.achieved_ratio, p.overshoot, p.mean_updates_per_window)
+            for p in points
+        ],
+        float_format="{:.3f}",
+        title="ATC target-ratio sweep",
+    )

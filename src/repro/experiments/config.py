@@ -1,0 +1,190 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a complete simulation campaign: the
+deployment (topology, sensors), the workload (query coverage, injection
+period), the protocol under test (DirQ with fixed δ or ATC, or flooding),
+and any scripted topology dynamics.  The defaults reproduce the paper's §7
+setup: 50 nodes including one root, 4 correlated sensor types, a query
+every 20 epochs, 20 000 epochs (scaled down for the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.config import DirQConfig, ThresholdMode
+from ..network.addresses import NodeId
+
+
+class ProtocolName:
+    """Which dissemination protocol an experiment runs."""
+
+    DIRQ = "dirq"
+    FLOODING = "flooding"
+
+    ALL = (DIRQ, FLOODING)
+
+
+@dataclasses.dataclass
+class TopologyEvent:
+    """A scripted topology change applied at a given epoch."""
+
+    epoch: int
+    kind: str  # "kill" or "activate"
+    node_id: NodeId
+
+    KILL = "kill"
+    ACTIVATE = "activate"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (self.KILL, self.ACTIVATE):
+            raise ValueError(f"unknown topology event kind {self.kind!r}")
+        if self.epoch < 0:
+            raise ValueError("event epoch must be non-negative")
+
+
+@dataclasses.dataclass
+class ExperimentConfig:
+    """Full description of one simulation run.
+
+    Attributes
+    ----------
+    num_nodes:
+        Total nodes including the root (the paper uses 50).
+    comm_range, area_size:
+        Unit-disk deployment parameters.
+    seed:
+        Master seed; all random streams derive from it.
+    num_epochs:
+        Length of the run (the paper uses 20 000; benchmarks scale this
+        down).
+    query_period:
+        Epochs between query injections (paper: 20).
+    target_coverage:
+        Desired fraction of nodes involved per query (paper: 0.2/0.4/0.6).
+    query_sensor_type:
+        Restrict queries to a single sensor type; ``None`` draws uniformly.
+    protocol:
+        ``"dirq"`` or ``"flooding"``.
+    dirq:
+        DirQ protocol configuration (ignored for flooding).
+    sensor_types:
+        Sensor types to generate; defaults to the standard four.
+    sensors_per_node:
+        ``None`` mounts every type on every node (the paper's setting);
+        an integer ``k`` mounts a random subset of ``k`` types per node
+        (heterogeneous networks, Fig. 4); an explicit mapping node -> list
+        of types gives full control.
+    phenomena_specs:
+        Optional overrides of the synthetic phenomena
+        (:class:`~repro.sensors.types.SensorTypeSpec` per type name); the
+        calibrated defaults of :func:`~repro.sensors.types.default_type_specs`
+        are used otherwise.
+    window_epochs:
+        Metrics window (Fig. 6/7 use 100 epochs).
+    epochs_per_day:
+        Length of the diurnal cycle in the synthetic phenomena.
+    channel_loss:
+        Per-reception loss probability (0 = the paper's ideal channel).
+    mac_beacon_interval, mac_death_threshold, slots_per_frame:
+        LMAC parameters.
+    topology_events:
+        Scripted node deaths / activations.
+    initially_dead:
+        Nodes present in the dataset and topology but switched off at t=0
+        (they can be activated later to model post-deployment additions).
+    send_responses:
+        Whether source nodes send responses (excluded from cost figures).
+    trace:
+        Enable the structured tracer (tests/examples only; benchmarks keep
+        it off).
+    """
+
+    num_nodes: int = 50
+    comm_range: float = 30.0
+    area_size: float = 100.0
+    seed: int = 1
+    num_epochs: int = 2_000
+    query_period: int = 20
+    target_coverage: float = 0.4
+    query_sensor_type: Optional[str] = None
+    protocol: str = ProtocolName.DIRQ
+    dirq: DirQConfig = dataclasses.field(default_factory=DirQConfig)
+    sensor_types: Optional[Sequence[str]] = None
+    sensors_per_node: Optional[object] = None
+    phenomena_specs: Optional[Dict[str, object]] = None
+    window_epochs: int = 100
+    epochs_per_day: int = 2_000
+    channel_loss: float = 0.0
+    mac_beacon_interval: float = 10.0
+    mac_death_threshold: int = 3
+    slots_per_frame: int = 32
+    topology_events: List[TopologyEvent] = dataclasses.field(default_factory=list)
+    initially_dead: Set[NodeId] = dataclasses.field(default_factory=set)
+    send_responses: bool = False
+    trace: bool = False
+    root_id: NodeId = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("num_nodes must be >= 2 (a root plus at least one node)")
+        if self.num_epochs < 1:
+            raise ValueError("num_epochs must be >= 1")
+        if self.query_period < 1:
+            raise ValueError("query_period must be >= 1")
+        if not (0.0 < self.target_coverage <= 1.0):
+            raise ValueError("target_coverage must be in (0, 1]")
+        if self.protocol not in ProtocolName.ALL:
+            raise ValueError(
+                f"protocol must be one of {ProtocolName.ALL}, got {self.protocol!r}"
+            )
+        if self.window_epochs < 1:
+            raise ValueError("window_epochs must be >= 1")
+        if not (0.0 <= self.channel_loss < 1.0):
+            raise ValueError("channel_loss must be in [0, 1)")
+        if self.root_id in self.initially_dead:
+            raise ValueError("the root cannot start dead")
+
+    # -- convenience constructors ------------------------------------------------
+
+    def with_fixed_delta(self, delta_percent: float) -> "ExperimentConfig":
+        """Copy of this config running DirQ with a fixed threshold."""
+        return dataclasses.replace(
+            self,
+            protocol=ProtocolName.DIRQ,
+            dirq=self.dirq.replace(
+                threshold_mode=ThresholdMode.FIXED, delta_percent=delta_percent
+            ),
+        )
+
+    def with_atc(self, target_cost_ratio: Optional[float] = None) -> "ExperimentConfig":
+        """Copy of this config running DirQ with Adaptive Threshold Control."""
+        changes = {"threshold_mode": ThresholdMode.ADAPTIVE}
+        if target_cost_ratio is not None:
+            changes["atc_target_cost_ratio"] = target_cost_ratio
+        return dataclasses.replace(
+            self, protocol=ProtocolName.DIRQ, dirq=self.dirq.replace(**changes)
+        )
+
+    def with_flooding(self) -> "ExperimentConfig":
+        """Copy of this config running the flooding baseline."""
+        return dataclasses.replace(self, protocol=ProtocolName.FLOODING)
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        return dataclasses.replace(self, **changes)
+
+
+def paper_defaults(
+    num_epochs: int = 20_000,
+    target_coverage: float = 0.4,
+    seed: int = 1,
+) -> ExperimentConfig:
+    """The paper's §7 configuration (full 20 000-epoch run by default)."""
+    return ExperimentConfig(
+        num_nodes=50,
+        num_epochs=num_epochs,
+        query_period=20,
+        target_coverage=target_coverage,
+        seed=seed,
+    )

@@ -1,0 +1,167 @@
+"""Reproduction of Fig. 6: update messages per 100 epochs, fixed δ vs ATC.
+
+The paper plots, for 40 % relevant nodes, the total number of Update
+Messages transmitted by all nodes per 100 epochs over a 20 000-epoch run for
+fixed thresholds δ = 3 %, 5 %, 9 % and for the Adaptive Threshold Control,
+together with the U_max/Hr reference line (the update rate at which DirQ's
+total cost would reach the cost of flooding) and its 0.45/0.55 multiples.
+The reported shape: small fixed thresholds produce update rates far above
+the budget, large ones far below, and the ATC series settles inside the
+0.45–0.55 band -- which is precisely where DirQ's total cost sits at 45-55 %
+of flooding.
+
+``run()`` executes one simulation per setting and returns a
+:class:`~repro.metrics.series.SeriesSet` with the reference levels attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from ..core.analytical import update_budget_per_hour
+from ..metrics.report import format_series, format_table
+from ..metrics.series import SeriesSet
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+from .scenarios import paper_network
+
+DEFAULT_DELTAS: Sequence[float] = (3.0, 5.0, 9.0)
+ATC_LABEL = "atc"
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig6Result:
+    """The Fig. 6 series plus the per-setting cost ratios."""
+
+    series: SeriesSet
+    cost_ratios: Dict[str, float]
+    mean_updates: Dict[str, float]
+    window_epochs: int
+    umax_per_window: float
+
+    def atc_band_occupancy(self, skip_windows: int = 2) -> float:
+        """Fraction of (post-transient) ATC windows inside the 0.45-0.55 band."""
+        return self.series.fraction_within(
+            ATC_LABEL,
+            0.45 * self.umax_per_window,
+            0.55 * self.umax_per_window,
+            skip_windows=skip_windows,
+        )
+
+
+def run(
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    num_epochs: int = 3_000,
+    target_coverage: float = 0.4,
+    seed: int = 1,
+    include_atc: bool = True,
+    base_config: Optional[ExperimentConfig] = None,
+) -> Fig6Result:
+    """Run the Fig. 6 sweep (one simulation per threshold setting)."""
+    base = (
+        base_config
+        if base_config is not None
+        else paper_network(num_epochs=num_epochs, seed=seed)
+    )
+    base = base.replace(
+        num_epochs=num_epochs, seed=seed, target_coverage=target_coverage
+    )
+
+    configs: Dict[str, ExperimentConfig] = {
+        f"delta={delta:g}%": base.with_fixed_delta(delta) for delta in deltas
+    }
+    if include_atc:
+        configs[ATC_LABEL] = base.with_atc()
+
+    series = SeriesSet(window_epochs=base.window_epochs)
+    cost_ratios: Dict[str, float] = {}
+    mean_updates: Dict[str, float] = {}
+    umax_per_window = 0.0
+
+    for label, config in configs.items():
+        result: ExperimentResult = run_experiment(config)
+        series.add_series(label, result.update_series)
+        cost_ratios[label] = result.cost_ratio
+        values = result.updates_per_window()
+        mean_updates[label] = float(mean(values)) if values else 0.0
+        if umax_per_window == 0.0:
+            umax_per_window = _umax_per_window(result, base)
+
+    series.add_reference("Umax/window", umax_per_window)
+    series.add_reference("0.55*Umax", 0.55 * umax_per_window)
+    series.add_reference("0.45*Umax", 0.45 * umax_per_window)
+    return Fig6Result(
+        series=series,
+        cost_ratios=cost_ratios,
+        mean_updates=mean_updates,
+        window_epochs=base.window_epochs,
+        umax_per_window=umax_per_window,
+    )
+
+
+def _umax_per_window(result: ExperimentResult, config: ExperimentConfig) -> float:
+    """U_max expressed per metrics window (the Fig. 6 horizontal line).
+
+    U_max/Hr is the number of update messages per hour at which DirQ's total
+    cost (measured dissemination cost plus updates at two cost units each)
+    equals the flooding cost of the expected query load; see
+    :func:`repro.core.analytical.update_budget_per_hour`.
+    """
+    queries_per_window = config.window_epochs / config.query_period
+    avg_query_cost = (
+        sum(result.per_query_costs) / len(result.per_query_costs)
+        if result.per_query_costs
+        else 0.0
+    )
+    return update_budget_per_hour(
+        expected_queries_per_hour=queries_per_window,
+        flooding_cost_per_query=result.flooding_cost_per_query,
+        query_cost_per_query=avg_query_cost,
+    )
+
+
+def report(result: Fig6Result) -> str:
+    """Render the Fig. 6 reproduction as text."""
+    lines: List[str] = [
+        "Fig. 6 -- Update Messages transmitted per "
+        f"{result.window_epochs} epochs (40% relevant nodes)",
+        "",
+        f"U_max per window       : {result.umax_per_window:.1f}",
+        f"0.45 * U_max            : {0.45 * result.umax_per_window:.1f}",
+        f"0.55 * U_max            : {0.55 * result.umax_per_window:.1f}",
+        "",
+    ]
+    for name in result.series.names():
+        starts, values = result.series.as_arrays(name)
+        lines.append(format_series(name, list(starts), list(values)))
+    lines.append("")
+    lines.append(
+        format_table(
+            headers=["setting", "mean updates/window", "total cost / flooding"],
+            rows=[
+                (name, result.mean_updates[name], result.cost_ratios[name])
+                for name in result.series.names()
+            ],
+            float_format="{:.3f}",
+        )
+    )
+    if ATC_LABEL in result.series.names():
+        lines.append("")
+        lines.append(
+            "ATC windows inside the 0.45-0.55 U_max band "
+            f"(after transient): {result.atc_band_occupancy():.0%}"
+        )
+    return "\n".join(lines)
+
+
+def main(num_epochs: int = 3_000) -> str:  # pragma: no cover - script entry
+    result = run(num_epochs=num_epochs)
+    text = report(result)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

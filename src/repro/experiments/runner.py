@@ -1,0 +1,515 @@
+"""Experiment runner: builds the full stack and drives the epoch loop.
+
+The runner is the reproduction's equivalent of the paper's OMNeT++
+simulation campaign driver.  Given an :class:`~repro.experiments.config.
+ExperimentConfig` it
+
+1. builds the world -- topology, wireless channel with unit-cost ledger,
+   synthetic spatio-temporally correlated dataset, sensors, LMAC instance
+   per node, spanning tree, and a DirQ or flooding protocol instance per
+   node;
+2. drives the epoch loop -- per-epoch sensor sampling and range
+   maintenance, hourly EHr estimates, query generation/injection on the
+   paper's schedule, scripted topology events, and windowed metric
+   collection;
+3. returns an :class:`ExperimentResult` containing the audit (ground truth
+   vs deliveries), the energy ledger, the Fig. 6 update series, and
+   summary statistics, from which every reproduced figure is computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..core.analytical import flooding_cost_general
+from ..core.config import DirQConfig
+from ..core.dirq_node import DirQNode
+from ..core.dirq_root import DirQRoot
+from ..core.flooding import FloodingNode, FloodingRoot
+from ..core.messages import QUERY_KIND, RangeQuery
+from ..energy.ledger import NetworkLedger
+from ..mac.lmac import LMACProtocol
+from ..metrics.accuracy import mean_accuracy, mean_overshoot
+from ..metrics.audit import QueryAudit
+from ..metrics.cost import CostBreakdown, cost_breakdown
+from ..metrics.series import UpdateRateRecorder, WindowPoint
+from ..network.addresses import NodeId
+from ..network.channel import WirelessChannel
+from ..network.node import SensorNode
+from ..network.spanning_tree import SpanningTree, build_bfs_tree
+from ..network.topology import Topology, random_geometric_topology
+from ..sensors.dataset import SensorDataset
+from ..sensors.sensor import SamplingCounter, Sensor
+from ..sensors.types import DEFAULT_SENSOR_TYPES, default_type_specs
+from ..simulation.engine import Simulator
+from ..simulation.rng import RandomStreams
+from ..simulation.trace import Tracer
+from ..workload.generator import QueryWorkloadGenerator
+from ..workload.ground_truth import evaluate_query
+from ..workload.injection import periodic_schedule
+from ..workload.predictor import QueryRatePredictor
+from .config import ExperimentConfig, ProtocolName, TopologyEvent
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Everything measured during one simulation run."""
+
+    config: ExperimentConfig
+    audit: QueryAudit
+    ledger: NetworkLedger
+    tree: SpanningTree
+    num_queries: int
+    flooding_cost_per_query: float
+    update_series: List[WindowPoint]
+    breakdown: CostBreakdown
+    per_query_costs: List[float]
+    atc_delta_history: Dict[int, List[float]]
+    alive_at_end: Set[NodeId]
+    num_nodes: int
+
+    # -- headline summaries ------------------------------------------------------
+
+    @property
+    def mean_overshoot_percent(self) -> float:
+        return mean_overshoot(self.audit.records)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return mean_accuracy(self.audit.records)
+
+    @property
+    def total_dirq_cost(self) -> float:
+        return self.breakdown.total_dirq_cost
+
+    @property
+    def total_flooding_cost(self) -> float:
+        """Flooding cost of the same query load (measured for flooding runs,
+        the eq. 3 reference otherwise)."""
+        if self.config.protocol == ProtocolName.FLOODING:
+            return self.breakdown.flood_cost
+        return self.flooding_cost_per_query * self.num_queries
+
+    @property
+    def cost_ratio(self) -> float:
+        """DirQ total cost as a fraction of flooding the same workload."""
+        flooding = self.total_flooding_cost
+        if flooding <= 0:
+            return float("inf")
+        return self.total_dirq_cost / flooding
+
+    def updates_per_window(self) -> List[float]:
+        return [p.value for p in self.update_series]
+
+
+class SimulationWorld:
+    """All live objects of one simulation (built by :class:`ExperimentRunner`)."""
+
+    def __init__(self) -> None:
+        self.sim: Simulator
+        self.topology: Topology
+        self.channel: WirelessChannel
+        self.ledger: NetworkLedger
+        self.dataset: SensorDataset
+        self.tree: SpanningTree
+        self.nodes: Dict[NodeId, SensorNode] = {}
+        self.macs: Dict[NodeId, LMACProtocol] = {}
+        self.protocols: Dict[NodeId, object] = {}
+        self.audit = QueryAudit()
+        self.sampling = SamplingCounter()
+        self.sensor_owners: Dict[str, Set[NodeId]] = {}
+        self.alive: Set[NodeId] = set()
+
+
+class ExperimentRunner:
+    """Builds and runs one experiment."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.streams = RandomStreams(config.seed)
+        self.world: Optional[SimulationWorld] = None
+
+    # ------------------------------------------------------------------
+    # World construction
+    # ------------------------------------------------------------------
+
+    def build(self) -> SimulationWorld:
+        """Construct the full simulation world (idempotent)."""
+        if self.world is not None:
+            return self.world
+        cfg = self.config
+        world = SimulationWorld()
+        tracer = Tracer(enabled=cfg.trace)
+        world.sim = Simulator(tracer=tracer)
+
+        # Topology and channel -------------------------------------------------
+        world.topology = random_geometric_topology(
+            num_nodes=cfg.num_nodes,
+            comm_range=cfg.comm_range,
+            area_size=cfg.area_size,
+            rng=self.streams.get("topology"),
+            root_id=cfg.root_id,
+        )
+        world.ledger = NetworkLedger()
+        world.channel = WirelessChannel(
+            sim=world.sim,
+            topology=world.topology,
+            ledger=world.ledger,
+            loss_probability=cfg.channel_loss,
+            rng=self.streams.get("channel"),
+            tracer=tracer,
+        )
+
+        # Dataset and sensors ---------------------------------------------------
+        specs = dict(default_type_specs())
+        if cfg.phenomena_specs:
+            specs.update(cfg.phenomena_specs)
+        wanted_types = list(cfg.sensor_types) if cfg.sensor_types else list(
+            DEFAULT_SENSOR_TYPES
+        )
+        specs = {t: specs[t] for t in wanted_types if t in specs}
+        missing = [t for t in wanted_types if t not in specs]
+        if missing:
+            raise KeyError(f"no spec available for sensor types {missing}")
+        node_ids = world.topology.node_ids
+        world.dataset = SensorDataset.generate(
+            node_ids=node_ids,
+            positions=world.topology.position_array(node_ids),
+            num_epochs=cfg.num_epochs,
+            rng=self.streams.get("phenomena"),
+            specs=specs,
+            epochs_per_day=cfg.epochs_per_day,
+        )
+
+        # DirQ expresses δ in percent of the sensor type's full-scale range.
+        # The nominal range from the type spec is preferred (so "δ = 3 %"
+        # means the same thing regardless of run length); types without a
+        # nominal range fall back to the empirical range of the generated
+        # dataset.
+        full_scale = {}
+        for stype in world.dataset.sensor_types:
+            spec = specs.get(stype)
+            if spec is not None and spec.full_scale is not None:
+                full_scale[stype] = float(spec.full_scale)
+            else:
+                lo, hi = world.dataset.value_range(stype)
+                full_scale[stype] = max(1e-9, hi - lo)
+        cfg.dirq.full_scale.update(full_scale)
+
+        sensor_assignment = self._assign_sensors(node_ids, wanted_types)
+        world.sensor_owners = {
+            stype: {nid for nid, types in sensor_assignment.items() if stype in types}
+            for stype in wanted_types
+        }
+
+        # Nodes, MAC, tree, protocols -----------------------------------------------
+        world.tree = build_bfs_tree(world.topology, root=cfg.root_id)
+        mac_rng = self.streams.get("mac")
+        for nid in node_ids:
+            node = SensorNode(
+                nid, world.topology.position(nid), is_root=(nid == cfg.root_id)
+            )
+            for stype in sensor_assignment[nid]:
+                node.attach_sensor(
+                    Sensor(nid, stype, world.dataset, counter=world.sampling)
+                )
+            world.nodes[nid] = node
+            world.macs[nid] = LMACProtocol(
+                sim=world.sim,
+                channel=world.channel,
+                node_id=nid,
+                rng=np.random.default_rng(mac_rng.integers(0, 2**63)),
+                slots_per_frame=cfg.slots_per_frame,
+                beacon_interval=cfg.mac_beacon_interval,
+                death_threshold=cfg.mac_death_threshold,
+            )
+
+        for nid in node_ids:
+            node, mac = world.nodes[nid], world.macs[nid]
+            if cfg.protocol == ProtocolName.DIRQ:
+                if nid == cfg.root_id:
+                    proto = DirQRoot(
+                        world.sim,
+                        node,
+                        mac,
+                        cfg.dirq,
+                        audit=world.audit,
+                        predictor=QueryRatePredictor(
+                            initial_estimate=cfg.dirq.epochs_per_hour / cfg.query_period
+                        ),
+                        send_responses=cfg.send_responses,
+                    )
+                else:
+                    proto = DirQNode(
+                        world.sim,
+                        node,
+                        mac,
+                        cfg.dirq,
+                        audit=world.audit,
+                        send_responses=cfg.send_responses,
+                    )
+            else:
+                if nid == cfg.root_id:
+                    proto = FloodingRoot(world.sim, node, mac, audit=world.audit)
+                else:
+                    proto = FloodingNode(world.sim, node, mac, audit=world.audit)
+            world.protocols[nid] = proto
+
+        self._install_tree_links(world, world.tree)
+
+        # Initial liveness --------------------------------------------------------
+        world.alive = set(node_ids)
+        for nid in cfg.initially_dead:
+            self._apply_kill(world, nid, rebuild_tree=False)
+        if cfg.initially_dead:
+            world.tree = build_bfs_tree(
+                self._alive_topology(world), root=cfg.root_id
+            )
+            self._install_tree_links(world, world.tree)
+
+        # Start the MAC and application layers.
+        for nid in node_ids:
+            if nid in world.alive:
+                world.macs[nid].start()
+                world.protocols[nid].start()
+
+        self.world = world
+        return world
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _assign_sensors(
+        self, node_ids: List[NodeId], types: List[str]
+    ) -> Dict[NodeId, List[str]]:
+        cfg = self.config
+        assignment: Dict[NodeId, List[str]] = {}
+        spec = cfg.sensors_per_node
+        if spec is None:
+            for nid in node_ids:
+                assignment[nid] = list(types)
+        elif isinstance(spec, int):
+            if not (1 <= spec <= len(types)):
+                raise ValueError(
+                    f"sensors_per_node must be in [1, {len(types)}], got {spec}"
+                )
+            rng = self.streams.get("sensor-assignment")
+            for nid in node_ids:
+                chosen = rng.choice(len(types), size=spec, replace=False)
+                assignment[nid] = sorted(types[i] for i in chosen)
+            # The root keeps every type so queries of any type remain routable
+            # through its tables once children advertise them.
+            assignment[cfg.root_id] = list(types)
+        elif isinstance(spec, dict):
+            for nid in node_ids:
+                given = spec.get(nid, types)
+                unknown = [t for t in given if t not in types]
+                if unknown:
+                    raise ValueError(f"node {nid} assigned unknown types {unknown}")
+                assignment[nid] = list(given)
+        else:
+            raise TypeError("sensors_per_node must be None, an int, or a mapping")
+        return assignment
+
+    def _alive_topology(self, world: SimulationWorld) -> Topology:
+        topo = world.topology
+        for nid in set(topo.node_ids) - world.alive:
+            topo = topo.without_node(nid)
+        return topo
+
+    def _install_tree_links(self, world: SimulationWorld, tree: SpanningTree) -> None:
+        for nid, proto in world.protocols.items():
+            if nid in tree:
+                proto.set_tree_links(tree.parent_of(nid), tree.children(nid))
+            else:
+                proto.set_tree_links(None, [])
+
+    def _apply_kill(
+        self, world: SimulationWorld, node_id: NodeId, rebuild_tree: bool = True
+    ) -> None:
+        if node_id == self.config.root_id:
+            raise ValueError("the root cannot be killed")
+        if node_id not in world.alive:
+            return
+        world.alive.discard(node_id)
+        world.nodes[node_id].kill()
+        world.channel.set_alive(node_id, False)
+        world.macs[node_id].shutdown()
+        if rebuild_tree and node_id in world.tree:
+            repaired = world.tree.repair(node_id, world.channel.neighbors)
+            reparented = [
+                nid
+                for nid in repaired.node_ids
+                if nid in world.tree
+                and world.tree.parent_of(nid) != repaired.parent_of(nid)
+            ]
+            world.tree = repaired
+            self._install_tree_links(world, repaired)
+            # Re-attached subtrees advertise their ranges to their new parents
+            # so queries keep routing correctly (paper §4.2).
+            for nid in reparented:
+                proto = world.protocols[nid]
+                if hasattr(proto, "readvertise"):
+                    proto.readvertise()
+
+    def _apply_activation(self, world: SimulationWorld, node_id: NodeId) -> None:
+        if node_id in world.alive:
+            return
+        world.alive.add(node_id)
+        world.nodes[node_id].revive()
+        world.channel.set_alive(node_id, True)
+        world.macs[node_id].start()
+        world.macs[node_id].wake()
+        world.protocols[node_id].start()
+        # Attach to the alive neighbour closest to the root.
+        candidates = [
+            nb for nb in world.channel.neighbors(node_id) if nb in world.tree
+        ]
+        if candidates:
+            candidates.sort(key=lambda nb: (world.tree.depth_of(nb), nb))
+            world.tree = world.tree.with_new_node(node_id, candidates[0])
+            self._install_tree_links(world, world.tree)
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        """Run the configured experiment and return its measurements."""
+        cfg = self.config
+        world = self.build()
+        sim = world.sim
+        is_dirq = cfg.protocol == ProtocolName.DIRQ
+        root = world.protocols[cfg.root_id]
+
+        # Workload -------------------------------------------------------------------
+        generator = QueryWorkloadGenerator(
+            dataset=world.dataset,
+            tree=world.tree,
+            rng=self.streams.get("workload"),
+            sensor_types=(
+                [cfg.query_sensor_type] if cfg.query_sensor_type else None
+            ),
+            sensor_owners=world.sensor_owners,
+        )
+        generator.set_alive(world.alive)
+        schedule = periodic_schedule(cfg.num_epochs, cfg.query_period)
+        injections: Dict[int, int] = {}
+        for epoch in schedule:
+            injections[epoch] = injections.get(epoch, 0) + 1
+
+        events_by_epoch: Dict[int, List[TopologyEvent]] = {}
+        for event in cfg.topology_events:
+            events_by_epoch.setdefault(event.epoch, []).append(event)
+
+        # Reference costs ---------------------------------------------------------------
+        flooding_per_query = flooding_cost_general(
+            len(world.alive), world.channel.num_links
+        )
+        if is_dirq:
+            root.set_network_size(len(world.alive))
+            root.set_flooding_cost(flooding_per_query)
+
+        recorder = UpdateRateRecorder(world.ledger, cfg.window_epochs)
+        per_query_costs: List[float] = []
+        atc_history: Dict[int, List[float]] = {}
+        num_queries = 0
+
+        for epoch in range(cfg.num_epochs):
+            sim.run_until(float(epoch))
+
+            # Scripted topology dynamics.
+            for event in events_by_epoch.get(epoch, []):
+                if event.kind == TopologyEvent.KILL:
+                    self._apply_kill(world, event.node_id)
+                else:
+                    self._apply_activation(world, event.node_id)
+                generator.set_tree(world.tree)
+                generator.set_alive(world.alive)
+                if is_dirq:
+                    root.set_network_size(len(world.alive))
+                    flooding_per_query = flooding_cost_general(
+                        len(world.alive), world.channel.num_links
+                    )
+                    root.set_flooding_cost(flooding_per_query)
+
+            # Hourly EHr estimate (DirQ only).
+            if is_dirq and epoch % cfg.dirq.epochs_per_hour == 0:
+                root.start_new_hour(epoch)
+
+            # Per-epoch sensing and range maintenance.
+            for nid in sorted(world.alive):
+                world.protocols[nid].on_epoch(epoch)
+            sim.run_until(epoch + 0.5)
+
+            # Query injections scheduled for this epoch.
+            for _ in range(injections.get(epoch, 0)):
+                generated = generator.generate(
+                    epoch, cfg.target_coverage, cfg.query_sensor_type
+                )
+                query = generated.query
+                sources, should = evaluate_query(
+                    world.dataset,
+                    world.tree,
+                    query,
+                    epoch,
+                    world.sensor_owners,
+                    world.alive,
+                )
+                world.audit.register_query(
+                    query,
+                    sources,
+                    should,
+                    epoch,
+                    population=max(1, len(world.alive) - 1),
+                )
+                cost_kind = QUERY_KIND if is_dirq else "flood"
+                before = world.ledger.total_cost([cost_kind])
+                root.inject_query(query)
+                sim.run_until(epoch + 0.95)
+                after = world.ledger.total_cost([cost_kind])
+                per_query_costs.append(after - before)
+                if is_dirq:
+                    root.observe_query_cost(after - before)
+                num_queries += 1
+
+            # ATC telemetry (sampled once per window).
+            if is_dirq and (epoch + 1) % cfg.window_epochs == 0:
+                for nid in sorted(world.alive):
+                    proto = world.protocols[nid]
+                    if getattr(proto, "atc", None) is not None:
+                        stype = (
+                            cfg.query_sensor_type
+                            or world.dataset.sensor_types[0]
+                        )
+                        atc_history.setdefault(nid, []).append(
+                            proto.atc.delta_percent(stype)
+                        )
+
+            # Fig. 6 window bookkeeping.
+            if (epoch + 1) % cfg.window_epochs == 0:
+                recorder.on_window_end(epoch + 1 - cfg.window_epochs)
+
+        sim.run_until(float(cfg.num_epochs))
+
+        return ExperimentResult(
+            config=cfg,
+            audit=world.audit,
+            ledger=world.ledger,
+            tree=world.tree,
+            num_queries=num_queries,
+            flooding_cost_per_query=flooding_per_query,
+            update_series=recorder.series,
+            breakdown=cost_breakdown(world.ledger),
+            per_query_costs=per_query_costs,
+            atc_delta_history=atc_history,
+            alive_at_end=set(world.alive),
+            num_nodes=cfg.num_nodes,
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Convenience wrapper: build and run one experiment."""
+    return ExperimentRunner(config).run()

@@ -1,0 +1,24 @@
+"""LMAC-style TDMA MAC substrate with cross-layer notifications."""
+
+from .crosslayer import (
+    CrossLayerBus,
+    CrossLayerEvent,
+    NeighborFound,
+    NeighborLost,
+)
+from .frames import MAC_CONTROL_KIND, ControlSection, MACFrame
+from .lmac import LMACProtocol
+from .schedule import DEFAULT_SLOTS_PER_FRAME, SlotSchedule
+
+__all__ = [
+    "CrossLayerBus",
+    "CrossLayerEvent",
+    "NeighborFound",
+    "NeighborLost",
+    "MAC_CONTROL_KIND",
+    "ControlSection",
+    "MACFrame",
+    "LMACProtocol",
+    "DEFAULT_SLOTS_PER_FRAME",
+    "SlotSchedule",
+]

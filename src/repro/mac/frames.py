@@ -1,0 +1,81 @@
+"""MAC frame formats.
+
+LMAC transmits one frame per owned time slot.  A frame carries a small
+control section (the sender's slot number and its view of occupied slots,
+which is how the distributed schedule self-organises) plus an optional data
+payload handed down from the upper layer (DirQ / flooding messages).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, FrozenSet, Optional
+
+from ..network.addresses import BROADCAST, NodeId
+
+#: Ledger kind used for LMAC control traffic.  The paper's cost comparison
+#: (§5, §7) counts only query/update traffic, because the MAC layer's own
+#: overhead is identical whichever dissemination scheme runs on top of it;
+#: metrics exclude this kind from protocol-cost aggregation.
+MAC_CONTROL_KIND = "mac_control"
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlSection:
+    """LMAC control section broadcast in a node's own slot.
+
+    Attributes
+    ----------
+    slot:
+        The slot number the sender owns (``None`` while still electing).
+    occupied_slots:
+        Slot numbers the sender believes are taken within its one-hop
+        neighbourhood (including its own).  Receivers union this into their
+        two-hop occupancy view, which is what makes the slot election
+        collision-free within two hops.
+    sequence:
+        Monotonically increasing beacon counter, used by neighbours to
+        detect missed beacons (death detection).
+    """
+
+    slot: Optional[int]
+    occupied_slots: FrozenSet[int]
+    sequence: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MACFrame:
+    """One over-the-air LMAC frame.
+
+    Attributes
+    ----------
+    source:
+        Transmitting node.
+    destination:
+        Target node id, or :data:`~repro.network.addresses.BROADCAST`.
+    control:
+        LMAC control section (always present; pure data frames piggyback the
+        latest control state, just as in the real protocol).
+    payload:
+        Upper-layer message, or ``None`` for a control-only beacon.
+    payload_kind:
+        Ledger kind for the payload (e.g. ``"query"``, ``"update"``); the
+        control-only kind is :data:`MAC_CONTROL_KIND`.
+    payload_bytes:
+        Approximate payload size used by byte-proportional energy models.
+    """
+
+    source: NodeId
+    destination: NodeId
+    control: ControlSection
+    payload: Any = None
+    payload_kind: str = MAC_CONTROL_KIND
+    payload_bytes: int = 16
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.destination == BROADCAST
+
+    @property
+    def has_payload(self) -> bool:
+        return self.payload is not None

@@ -1,0 +1,119 @@
+"""TDMA frame / slot schedule bookkeeping.
+
+LMAC divides time into fixed-length *frames*, each consisting of
+``slots_per_frame`` slots; every node owns exactly one slot in which it may
+transmit, and the ownership pattern is collision-free within two hops.  This
+module holds the local schedule state one node maintains: its own slot, the
+slots it has heard being used by one-hop neighbours, and the two-hop
+occupancy learned from neighbours' control sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..network.addresses import NodeId
+
+DEFAULT_SLOTS_PER_FRAME = 32
+"""LMAC's default frame length (32 slots, as in van Hoesel & Havinga)."""
+
+
+class SlotSchedule:
+    """One node's local view of the TDMA schedule.
+
+    Parameters
+    ----------
+    owner:
+        The node this schedule belongs to.
+    slots_per_frame:
+        Number of slots in one LMAC frame.
+    """
+
+    def __init__(self, owner: NodeId, slots_per_frame: int = DEFAULT_SLOTS_PER_FRAME):
+        if slots_per_frame < 1:
+            raise ValueError("slots_per_frame must be >= 1")
+        self.owner = owner
+        self.slots_per_frame = int(slots_per_frame)
+        self.own_slot: Optional[int] = None
+        # slot -> owning one-hop neighbour
+        self._first_hop: Dict[int, NodeId] = {}
+        # slots reported occupied by neighbours (their one-hop view = our two-hop)
+        self._second_hop: Set[int] = set()
+
+    # -- mutation ---------------------------------------------------------------
+
+    def claim(self, slot: int) -> None:
+        """Claim ``slot`` as this node's own transmit slot."""
+        self._check_slot(slot)
+        self.own_slot = slot
+
+    def release(self) -> None:
+        """Give up the currently owned slot (used on collision detection)."""
+        self.own_slot = None
+
+    def record_neighbor_slot(self, neighbor: NodeId, slot: Optional[int]) -> None:
+        """Record that a one-hop neighbour owns ``slot``."""
+        if slot is None:
+            return
+        self._check_slot(slot)
+        # Drop any stale claim this neighbour previously had.
+        stale = [s for s, nid in self._first_hop.items() if nid == neighbor and s != slot]
+        for s in stale:
+            del self._first_hop[s]
+        self._first_hop[slot] = neighbor
+
+    def record_reported_occupancy(self, occupied: FrozenSet[int] | Set[int]) -> None:
+        """Merge a neighbour's reported occupied-slot set (two-hop knowledge)."""
+        for slot in occupied:
+            self._check_slot(slot)
+            self._second_hop.add(slot)
+
+    def forget_neighbor(self, neighbor: NodeId) -> None:
+        """Remove all first-hop claims held by a (dead) neighbour.
+
+        Two-hop occupancy is rebuilt over time from fresh control sections;
+        we clear it conservatively so freed slots become reusable.
+        """
+        stale = [s for s, nid in self._first_hop.items() if nid == neighbor]
+        for s in stale:
+            del self._first_hop[s]
+        self._second_hop = set()
+
+    # -- queries -----------------------------------------------------------------
+
+    def slot_owner(self, slot: int) -> Optional[NodeId]:
+        """One-hop neighbour known to own ``slot`` (or ``None``)."""
+        return self._first_hop.get(slot)
+
+    def occupied_first_hop(self) -> Set[int]:
+        """Slots owned by this node or a one-hop neighbour."""
+        occupied = set(self._first_hop)
+        if self.own_slot is not None:
+            occupied.add(self.own_slot)
+        return occupied
+
+    def occupied_anywhere(self) -> Set[int]:
+        """Slots occupied within this node's two-hop knowledge."""
+        return self.occupied_first_hop() | set(self._second_hop)
+
+    def free_slots(self) -> list[int]:
+        """Slots believed free within two hops, sorted ascending."""
+        return sorted(set(range(self.slots_per_frame)) - self.occupied_anywhere())
+
+    def conflicts_with_neighbor(self) -> Optional[NodeId]:
+        """Neighbour that claims the same slot as this node, if any."""
+        if self.own_slot is None:
+            return None
+        return self._first_hop.get(self.own_slot)
+
+    def _check_slot(self, slot: int) -> None:
+        if not (0 <= slot < self.slots_per_frame):
+            raise ValueError(
+                f"slot {slot} outside frame of {self.slots_per_frame} slots"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlotSchedule(owner={self.owner}, own_slot={self.own_slot}, "
+            f"first_hop={self._first_hop})"
+        )

@@ -1,0 +1,51 @@
+"""Metrics: query audit, accuracy/overshoot, cost comparison, windowed series."""
+
+from .accuracy import (
+    Fig5Point,
+    QueryAccuracy,
+    delivery_completeness,
+    fig5_percentages,
+    mean_accuracy,
+    mean_overshoot,
+    overshoot_series,
+    query_accuracy,
+)
+from .audit import QueryAudit, QueryRecord
+from .cost import (
+    CostBreakdown,
+    CostComparison,
+    compare_costs,
+    cost_breakdown,
+    dirq_cost,
+    flooding_cost_measured,
+    per_node_cost_share,
+)
+from .report import format_key_values, format_series, format_table
+from .series import SeriesSet, UpdateRateRecorder, WindowedCounter, WindowPoint
+
+__all__ = [
+    "Fig5Point",
+    "QueryAccuracy",
+    "delivery_completeness",
+    "fig5_percentages",
+    "mean_accuracy",
+    "mean_overshoot",
+    "overshoot_series",
+    "query_accuracy",
+    "QueryAudit",
+    "QueryRecord",
+    "CostBreakdown",
+    "CostComparison",
+    "compare_costs",
+    "cost_breakdown",
+    "dirq_cost",
+    "flooding_cost_measured",
+    "per_node_cost_share",
+    "format_key_values",
+    "format_series",
+    "format_table",
+    "SeriesSet",
+    "UpdateRateRecorder",
+    "WindowedCounter",
+    "WindowPoint",
+]

@@ -1,0 +1,90 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmark harness prints the same rows and series the paper reports
+(Figs. 5-7, the §5.3 worked example, and the headline cost ratio); the
+helpers here render them as aligned text tables so the console output of
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.2f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows: List[List[str]] = [[render(c) for c in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in rendered_rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(header_cells))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    name: str,
+    window_starts: Sequence[int],
+    values: Sequence[float],
+    max_points: int = 20,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a windowed series compactly (down-sampled to ``max_points``)."""
+    n = len(values)
+    if n != len(window_starts):
+        raise ValueError("window_starts and values must have the same length")
+    if n == 0:
+        return f"{name}: (empty series)"
+    step = max(1, n // max_points)
+    samples = [
+        f"{window_starts[i]}:{float_format.format(values[i])}"
+        for i in range(0, n, step)
+    ]
+    mean_value = sum(values) / n
+    return (
+        f"{name}: mean={float_format.format(mean_value)} over {n} windows | "
+        + " ".join(samples)
+    )
+
+
+def format_key_values(title: str, pairs: Sequence[tuple[str, object]]) -> str:
+    """Render key/value pairs as an aligned block."""
+    if not pairs:
+        return title
+    width = max(len(str(k)) for k, _ in pairs)
+    lines = [title]
+    for key, value in pairs:
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"  {str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

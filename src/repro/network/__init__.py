@@ -1,0 +1,40 @@
+"""Wireless network substrate: placement, connectivity, channel, tree."""
+
+from .addresses import BROADCAST, NodeId, is_broadcast, validate_node_id
+from .channel import ChannelStats, WirelessChannel
+from .links import NeighborEntry, NeighborTable
+from .node import SensorNode
+from .spanning_tree import (
+    SpanningTree,
+    TreeBeacon,
+    TreeError,
+    TreeSetupProtocol,
+    build_bfs_tree,
+)
+from .topology import (
+    Topology,
+    grid_topology,
+    kary_tree_topology,
+    random_geometric_topology,
+)
+
+__all__ = [
+    "BROADCAST",
+    "NodeId",
+    "is_broadcast",
+    "validate_node_id",
+    "ChannelStats",
+    "WirelessChannel",
+    "NeighborEntry",
+    "NeighborTable",
+    "SensorNode",
+    "SpanningTree",
+    "TreeBeacon",
+    "TreeError",
+    "TreeSetupProtocol",
+    "build_bfs_tree",
+    "Topology",
+    "grid_topology",
+    "kary_tree_topology",
+    "random_geometric_topology",
+]

@@ -1,0 +1,270 @@
+"""Wireless channel: broadcast/unicast delivery with unit-cost accounting.
+
+The channel is the only component allowed to charge energy: every MAC frame
+that is transmitted charges the sender one transmission cost and every
+receiver one reception cost, with the per-message *kind* recorded so the
+metrics layer can split costs into query / update / estimate / flood traffic
+exactly as §5 of the paper does.
+
+Delivery is scheduled through the simulation engine with a small propagation
+plus MAC-access delay, so message interleaving within an epoch is modelled
+explicitly and deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..energy.ledger import NetworkLedger
+from ..energy.model import DEFAULT_ENERGY_MODEL, EnergyCostModel
+from ..simulation.engine import Simulator
+from ..simulation.events import EventPriority
+from ..simulation.trace import NULL_TRACER, Tracer
+from .addresses import BROADCAST, NodeId, validate_node_id
+from .topology import Topology
+
+ReceiveCallback = Callable[[NodeId, Any], None]
+"""Signature of a node's receive hook: ``(sender_id, frame) -> None``."""
+
+
+@dataclasses.dataclass
+class ChannelStats:
+    """Aggregate channel counters (independent of the energy ledger)."""
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    deliveries: int = 0
+    drops_dead_node: int = 0
+    drops_loss: int = 0
+    drops_no_link: int = 0
+
+
+class WirelessChannel:
+    """Unit-disk wireless medium shared by all nodes.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine used to schedule deliveries.
+    topology:
+        Connectivity (who can hear whom).  The channel keeps its own mutable
+        view so node death/addition can be applied without rebuilding the
+        world.
+    energy_model:
+        Cost model used to charge transmissions/receptions; defaults to the
+        paper's unit-cost model.
+    ledger:
+        Network-wide energy ledger.  A fresh one is created when omitted.
+    loss_probability:
+        Independent probability that any individual reception fails.  The
+        paper's evaluation uses an ideal channel (0.0), but tests and
+        ablations exercise lossy settings.
+    propagation_delay:
+        Simulated delay between transmission and reception.  Kept well below
+        one epoch so all per-epoch protocol exchanges settle before the next
+        sampling round.
+    rng:
+        Random generator for loss draws (only needed when
+        ``loss_probability > 0``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        energy_model: EnergyCostModel = DEFAULT_ENERGY_MODEL,
+        ledger: Optional[NetworkLedger] = None,
+        loss_probability: float = 0.0,
+        propagation_delay: float = 1e-3,
+        rng: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if not (0.0 <= loss_probability < 1.0):
+            raise ValueError("loss_probability must be in [0, 1)")
+        if propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+        self.sim = sim
+        self.graph = topology.graph.copy()
+        self.positions = dict(topology.positions)
+        self.comm_range = topology.comm_range
+        self.energy_model = energy_model
+        self.ledger = ledger if ledger is not None else NetworkLedger()
+        self.loss_probability = float(loss_probability)
+        self.propagation_delay = float(propagation_delay)
+        self.rng = rng
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = ChannelStats()
+        self._receivers: Dict[NodeId, ReceiveCallback] = {}
+        self._alive: Dict[NodeId, bool] = {nid: True for nid in self.graph.nodes}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, node_id: NodeId, receiver: ReceiveCallback) -> None:
+        """Attach the receive hook for ``node_id`` (normally its MAC layer)."""
+        validate_node_id(node_id)
+        if node_id not in self.graph:
+            raise KeyError(f"node {node_id} is not part of the channel topology")
+        self._receivers[node_id] = receiver
+        self._alive.setdefault(node_id, True)
+
+    def unregister(self, node_id: NodeId) -> None:
+        self._receivers.pop(node_id, None)
+
+    # -- topology dynamics ------------------------------------------------------
+
+    def set_alive(self, node_id: NodeId, alive: bool) -> None:
+        """Mark a node dead (it no longer transmits or receives) or alive."""
+        if node_id not in self.graph:
+            raise KeyError(f"unknown node {node_id}")
+        self._alive[node_id] = bool(alive)
+
+    def is_alive(self, node_id: NodeId) -> bool:
+        return self._alive.get(node_id, False)
+
+    def add_node(self, node_id: NodeId, position, neighbors=None) -> None:
+        """Add a node to the channel's connectivity view."""
+        if node_id in self.graph:
+            raise ValueError(f"node {node_id} already present")
+        self.graph.add_node(node_id)
+        self.positions[node_id] = (float(position[0]), float(position[1]))
+        if neighbors is None:
+            if self.comm_range is None:
+                raise ValueError("neighbors required when comm_range is unset")
+            import math
+
+            for other, pos in self.positions.items():
+                if other == node_id:
+                    continue
+                if math.dist(pos, self.positions[node_id]) <= self.comm_range:
+                    self.graph.add_edge(node_id, other)
+        else:
+            for other in neighbors:
+                self.graph.add_edge(node_id, other)
+        self._alive[node_id] = True
+
+    def neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Alive one-hop neighbours of ``node_id``."""
+        if node_id not in self.graph:
+            return []
+        return sorted(n for n in self.graph.neighbors(node_id) if self._alive.get(n))
+
+    @property
+    def num_links(self) -> int:
+        """Links between currently-alive nodes."""
+        return sum(
+            1
+            for a, b in self.graph.edges
+            if self._alive.get(a) and self._alive.get(b)
+        )
+
+    # -- transmission -----------------------------------------------------------
+
+    def broadcast(
+        self,
+        sender: NodeId,
+        frame: Any,
+        kind: str,
+        payload_bytes: int = 32,
+    ) -> int:
+        """One-hop MAC broadcast from ``sender``.
+
+        Charges the sender one transmission and every alive neighbour one
+        reception (whether or not the neighbour's protocol cares about the
+        frame), exactly matching the paper's flooding cost accounting.
+
+        Returns the number of neighbours the frame was delivered to.
+        """
+        return self._transmit(sender, BROADCAST, frame, kind, payload_bytes)
+
+    def unicast(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        frame: Any,
+        kind: str,
+        payload_bytes: int = 32,
+    ) -> int:
+        """Unicast from ``sender`` to a one-hop neighbour ``dest``.
+
+        Charges one transmission and one reception.  Returns 1 on delivery,
+        0 if the frame was dropped (dead node, missing link, channel loss).
+        """
+        validate_node_id(dest)
+        return self._transmit(sender, dest, frame, kind, payload_bytes)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _transmit(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        frame: Any,
+        kind: str,
+        payload_bytes: int,
+    ) -> int:
+        validate_node_id(sender)
+        if sender not in self.graph:
+            raise KeyError(f"unknown sender {sender}")
+        if not self._alive.get(sender):
+            self.stats.drops_dead_node += 1
+            return 0
+
+        if dest == BROADCAST:
+            targets = [n for n in self.graph.neighbors(sender) if self._alive.get(n)]
+            self.stats.broadcasts += 1
+        else:
+            if not self.graph.has_edge(sender, dest):
+                self.stats.drops_no_link += 1
+                # The transmission still happens (and is still paid for); it
+                # simply reaches nobody, as on a real radio.
+                targets = []
+            elif not self._alive.get(dest):
+                self.stats.drops_dead_node += 1
+                targets = []
+            else:
+                targets = [dest]
+            self.stats.unicasts += 1
+
+        tx_cost = self.energy_model.transmit_cost(payload_bytes, len(targets))
+        self.ledger.node(sender).charge_tx(kind, tx_cost)
+        self.tracer.record(
+            self.sim.now, "channel.tx", sender, dest=dest, kind=kind, targets=len(targets)
+        )
+
+        delivered = 0
+        for target in targets:
+            if self.loss_probability > 0.0 and self.rng is not None:
+                if self.rng.random() < self.loss_probability:
+                    self.stats.drops_loss += 1
+                    continue
+            rx_cost = self.energy_model.receive_cost(payload_bytes)
+            self.ledger.node(target).charge_rx(kind, rx_cost)
+            delivered += 1
+            self._schedule_delivery(sender, target, frame, kind)
+        return delivered
+
+    def _schedule_delivery(
+        self, sender: NodeId, target: NodeId, frame: Any, kind: str
+    ) -> None:
+        def deliver() -> None:
+            if not self._alive.get(target):
+                self.stats.drops_dead_node += 1
+                return
+            receiver = self._receivers.get(target)
+            if receiver is None:
+                return
+            self.stats.deliveries += 1
+            self.tracer.record(
+                self.sim.now, "channel.rx", target, sender=sender, kind=kind
+            )
+            receiver(sender, frame)
+
+        self.sim.schedule_after(
+            self.propagation_delay,
+            deliver,
+            priority=EventPriority.MAC,
+            label=f"deliver[{kind}] {sender}->{target}",
+        )

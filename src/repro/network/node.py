@@ -1,0 +1,107 @@
+"""Sensor node model.
+
+A :class:`SensorNode` bundles everything that belongs to one physical device:
+its identity and position, the sensors mounted on it, its battery, and
+references to the protocol layers stacked on it (MAC below, application /
+dissemination protocol above).  The paper's heterogeneity requirement
+(Fig. 4: different nodes may carry different combinations of sensor types)
+is modelled by each node owning an arbitrary subset of sensor types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..energy.battery import Battery
+from .addresses import NodeId, validate_node_id
+
+
+class SensorNode:
+    """One device in the network.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier.
+    position:
+        (x, y) coordinates in the deployment field.
+    is_root:
+        Whether this node is the sink connected to the user-facing server.
+    battery:
+        Optional finite battery; infinite by default (the paper's setting).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        is_root: bool = False,
+        battery: Optional[Battery] = None,
+    ):
+        validate_node_id(node_id)
+        self.node_id = node_id
+        self.position = (float(position[0]), float(position[1]))
+        self.is_root = bool(is_root)
+        self.battery = battery if battery is not None else Battery()
+        self.alive = True
+        self._sensors: Dict[str, Any] = {}
+        # Protocol stack; assigned by the experiment runner / examples.
+        self.mac: Any = None
+        self.app: Any = None
+
+    # -- sensors -----------------------------------------------------------
+
+    def attach_sensor(self, sensor: Any) -> None:
+        """Mount a sensor on this node.
+
+        ``sensor`` must expose a ``sensor_type`` attribute (a string) and a
+        ``sample(epoch)`` method; see :class:`repro.sensors.sensor.Sensor`.
+        Attaching a second sensor of the same type replaces the first — the
+        paper's "addition of new sensor types after deployment" is modelled
+        by calling this after the simulation has started.
+        """
+        stype = getattr(sensor, "sensor_type", None)
+        if not stype:
+            raise ValueError("sensor must expose a non-empty sensor_type")
+        self._sensors[str(stype)] = sensor
+
+    def detach_sensor(self, sensor_type: str) -> bool:
+        """Remove the sensor of the given type; returns True if present."""
+        return self._sensors.pop(sensor_type, None) is not None
+
+    def has_sensor(self, sensor_type: str) -> bool:
+        return sensor_type in self._sensors
+
+    def sensor(self, sensor_type: str) -> Any:
+        if sensor_type not in self._sensors:
+            raise KeyError(f"node {self.node_id} has no {sensor_type!r} sensor")
+        return self._sensors[sensor_type]
+
+    @property
+    def sensor_types(self) -> List[str]:
+        """Sorted sensor types mounted on this node."""
+        return sorted(self._sensors)
+
+    def sample(self, sensor_type: str, epoch: int) -> float:
+        """Acquire a reading from the named sensor at the given epoch."""
+        return float(self.sensor(sensor_type).sample(epoch))
+
+    def sample_all(self, epoch: int) -> Dict[str, float]:
+        """Acquire a reading from every mounted sensor."""
+        return {stype: float(s.sample(epoch)) for stype, s in self._sensors.items()}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Mark the node dead (it stops sensing and communicating)."""
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "root" if self.is_root else "node"
+        return (
+            f"SensorNode({role} {self.node_id}, pos={self.position}, "
+            f"sensors={self.sensor_types}, alive={self.alive})"
+        )

@@ -1,0 +1,392 @@
+"""Spanning-tree construction and maintenance.
+
+DirQ operates over a communication spanning tree rooted at the sink: range
+information flows up the tree, queries flow down it (paper §4).  This module
+provides
+
+* :class:`SpanningTree` -- the tree itself (parent/children maps) with the
+  traversal helpers the routing layers and the metrics need (subtree
+  enumeration, path to root, depth, forwarding sets);
+* :func:`build_bfs_tree` -- centralized breadth-first construction from a
+  :class:`~repro.network.topology.Topology` (how the experiment runner sets
+  up the initial tree, mirroring the paper's "once the nodes have been
+  placed, a spanning tree is set up");
+* :class:`TreeSetupProtocol` -- a distributed construction protocol that
+  builds the same tree by flooding a setup beacon, used by the examples and
+  integration tests to demonstrate (and cost) in-network tree setup;
+* :meth:`SpanningTree.repair` -- re-attachment of subtrees orphaned by node
+  death, driven by the MAC layer's cross-layer notifications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from .addresses import NodeId
+from .topology import Topology
+
+
+class TreeError(RuntimeError):
+    """Raised for structurally invalid tree operations."""
+
+
+@dataclasses.dataclass
+class SpanningTree:
+    """Rooted spanning tree over a set of node identifiers.
+
+    The tree is represented by a parent map (root maps to ``None``); children
+    lists are derived and kept sorted for determinism.
+    """
+
+    root: NodeId
+    parent: Dict[NodeId, Optional[NodeId]]
+
+    def __post_init__(self) -> None:
+        if self.root not in self.parent:
+            raise TreeError(f"root {self.root} missing from parent map")
+        if self.parent[self.root] is not None:
+            raise TreeError("root must have no parent")
+        self._children: Dict[NodeId, List[NodeId]] = {n: [] for n in self.parent}
+        for node, par in self.parent.items():
+            if node == self.root:
+                continue
+            if par is None:
+                raise TreeError(f"non-root node {node} has no parent")
+            if par not in self.parent:
+                raise TreeError(f"node {node} has unknown parent {par}")
+            self._children[par].append(node)
+        for kids in self._children.values():
+            kids.sort()
+        self._validate_acyclic()
+
+    def _validate_acyclic(self) -> None:
+        for node in self.parent:
+            seen = set()
+            cur: Optional[NodeId] = node
+            while cur is not None:
+                if cur in seen:
+                    raise TreeError(f"cycle detected through node {cur}")
+                seen.add(cur)
+                cur = self.parent[cur]
+            if self.root not in seen:
+                raise TreeError(f"node {node} is not connected to the root")
+
+    # -- basic structure -------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        return sorted(self.parent)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self.parent
+
+    def children(self, node_id: NodeId) -> List[NodeId]:
+        """Immediate (one-hop) children of ``node_id``, sorted."""
+        if node_id not in self.parent:
+            raise KeyError(f"unknown node {node_id}")
+        return list(self._children[node_id])
+
+    def parent_of(self, node_id: NodeId) -> Optional[NodeId]:
+        if node_id not in self.parent:
+            raise KeyError(f"unknown node {node_id}")
+        return self.parent[node_id]
+
+    def is_leaf(self, node_id: NodeId) -> bool:
+        return not self._children[node_id]
+
+    @property
+    def leaves(self) -> List[NodeId]:
+        return sorted(n for n in self.parent if self.is_leaf(n))
+
+    def depth_of(self, node_id: NodeId) -> int:
+        """Hop distance from the root (root has depth 0)."""
+        depth = 0
+        cur = self.parent_of(node_id)
+        while cur is not None:
+            depth += 1
+            cur = self.parent[cur]
+        return depth
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth (a single-node tree has depth 0)."""
+        return max((self.depth_of(n) for n in self.parent), default=0)
+
+    @property
+    def max_branching(self) -> int:
+        """Maximum number of children of any node."""
+        return max((len(kids) for kids in self._children.values()), default=0)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def path_to_root(self, node_id: NodeId) -> List[NodeId]:
+        """Nodes on the path from ``node_id`` (inclusive) up to the root."""
+        path = [node_id]
+        cur = self.parent_of(node_id)
+        while cur is not None:
+            path.append(cur)
+            cur = self.parent[cur]
+        return path
+
+    def subtree(self, node_id: NodeId) -> List[NodeId]:
+        """All nodes in the subtree rooted at ``node_id`` (inclusive), BFS order."""
+        if node_id not in self.parent:
+            raise KeyError(f"unknown node {node_id}")
+        out: List[NodeId] = []
+        queue = deque([node_id])
+        while queue:
+            cur = queue.popleft()
+            out.append(cur)
+            queue.extend(self._children[cur])
+        return out
+
+    def descendants(self, node_id: NodeId) -> List[NodeId]:
+        """Subtree of ``node_id`` excluding the node itself."""
+        return self.subtree(node_id)[1:]
+
+    def forwarding_set(self, sources: Iterable[NodeId]) -> Set[NodeId]:
+        """All nodes involved in routing a query from the root to ``sources``.
+
+        This is the union of the root-to-source paths, i.e. the sources plus
+        every intermediate forwarding node plus the root — the set the paper
+        calls the "relevant nodes" when defining accuracy (§7.1).
+        """
+        involved: Set[NodeId] = set()
+        for src in sources:
+            involved.update(self.path_to_root(src))
+        return involved
+
+    def levels(self) -> Dict[int, List[NodeId]]:
+        """Mapping depth -> sorted nodes at that depth."""
+        by_level: Dict[int, List[NodeId]] = {}
+        for node in self.parent:
+            by_level.setdefault(self.depth_of(node), []).append(node)
+        for nodes in by_level.values():
+            nodes.sort()
+        return by_level
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Directed graph with edges parent -> child (for analysis/plots)."""
+        g = nx.DiGraph()
+        g.add_nodes_from(self.parent)
+        for node, par in self.parent.items():
+            if par is not None:
+                g.add_edge(par, node)
+        return g
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def without_subtree(self, node_id: NodeId) -> "SpanningTree":
+        """Copy of the tree with ``node_id`` and its whole subtree removed."""
+        if node_id == self.root:
+            raise TreeError("cannot remove the root's subtree")
+        doomed = set(self.subtree(node_id))
+        parent = {n: p for n, p in self.parent.items() if n not in doomed}
+        return SpanningTree(root=self.root, parent=parent)
+
+    def repair(self, dead_node: NodeId, topology_neighbors) -> "SpanningTree":
+        """Re-attach the subtrees orphaned by ``dead_node``'s death.
+
+        Parameters
+        ----------
+        dead_node:
+            The node that died.
+        topology_neighbors:
+            Callable ``node_id -> iterable of alive neighbour ids`` giving
+            current radio connectivity (typically
+            :meth:`repro.network.channel.WirelessChannel.neighbors`).
+
+        Returns
+        -------
+        SpanningTree
+            A new tree over the surviving nodes.  Orphaned nodes re-attach
+            greedily to the closest-to-root alive neighbour that is still
+            connected to the root; nodes that cannot reach the root at all
+            are dropped from the tree (they are partitioned).
+        """
+        if dead_node == self.root:
+            raise TreeError("cannot repair after root death; the sink is fixed")
+        if dead_node not in self.parent:
+            raise KeyError(f"unknown node {dead_node}")
+
+        survivors = [n for n in self.parent if n != dead_node]
+        # Start from the forest left after removing the dead node: every
+        # surviving node keeps its parent unless the parent was the dead node.
+        parent: Dict[NodeId, Optional[NodeId]] = {}
+        for node in survivors:
+            par = self.parent[node]
+            parent[node] = None if par == dead_node else par
+
+        attached: Set[NodeId] = set()
+
+        def root_reachable(node: NodeId) -> bool:
+            seen = set()
+            cur: Optional[NodeId] = node
+            while cur is not None:
+                if cur in attached or cur == self.root:
+                    return True
+                if cur in seen:
+                    return False
+                seen.add(cur)
+                cur = parent.get(cur)
+            return False
+
+        attached.update(n for n in survivors if root_reachable(n))
+
+        orphans = deque(sorted(n for n in survivors if n not in attached))
+        progress = True
+        while orphans and progress:
+            progress = False
+            for _ in range(len(orphans)):
+                node = orphans.popleft()
+                candidates = [
+                    nb
+                    for nb in topology_neighbors(node)
+                    if nb in attached and nb != dead_node
+                ]
+                if not candidates:
+                    orphans.append(node)
+                    continue
+                # Prefer the neighbour closest to the root for short paths,
+                # breaking ties by id for determinism.
+                candidates.sort(key=lambda nb: (self._depth_in(parent, nb), nb))
+                parent[node] = candidates[0]
+                attached.add(node)
+                progress = True
+
+        # Anything still orphaned is partitioned from the root: drop it.
+        reachable_parent = {n: p for n, p in parent.items() if n in attached}
+        reachable_parent[self.root] = None
+        return SpanningTree(root=self.root, parent=reachable_parent)
+
+    @staticmethod
+    def _depth_in(parent: Dict[NodeId, Optional[NodeId]], node: NodeId) -> int:
+        depth = 0
+        cur = parent.get(node)
+        seen = set()
+        while cur is not None and cur not in seen:
+            seen.add(cur)
+            depth += 1
+            cur = parent.get(cur)
+        return depth
+
+    def with_new_node(self, node_id: NodeId, attach_to: NodeId) -> "SpanningTree":
+        """Copy of the tree with ``node_id`` added as a child of ``attach_to``."""
+        if node_id in self.parent:
+            raise TreeError(f"node {node_id} already in tree")
+        if attach_to not in self.parent:
+            raise KeyError(f"unknown attachment point {attach_to}")
+        parent = dict(self.parent)
+        parent[node_id] = attach_to
+        return SpanningTree(root=self.root, parent=parent)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def build_bfs_tree(topology: Topology, root: NodeId = 0) -> SpanningTree:
+    """Breadth-first spanning tree of ``topology`` rooted at ``root``.
+
+    Ties (several potential parents at the same depth) are broken by the
+    lowest parent id, which makes the construction deterministic and matches
+    what the distributed :class:`TreeSetupProtocol` converges to on an ideal
+    channel.
+    """
+    if not topology.has_node(root):
+        raise KeyError(f"root {root} not in topology")
+    parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+    frontier = deque([root])
+    while frontier:
+        cur = frontier.popleft()
+        for nb in topology.neighbors(cur):
+            if nb not in parent:
+                parent[nb] = cur
+                frontier.append(nb)
+    missing = set(topology.node_ids) - set(parent)
+    if missing:
+        raise TreeError(
+            f"topology is not connected; unreachable nodes: {sorted(missing)}"
+        )
+    return SpanningTree(root=root, parent=parent)
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeBeacon:
+    """Setup beacon flooded during distributed tree construction."""
+
+    origin: NodeId
+    hops: int
+
+
+class TreeSetupProtocol:
+    """Distributed spanning-tree setup by beacon flooding.
+
+    The root broadcasts a :class:`TreeBeacon` with hop count 0; every node
+    adopts the first sender offering the smallest hop count (ties broken by
+    lowest sender id) as its parent and rebroadcasts with ``hops + 1``.  On
+    an ideal channel this converges to the same tree as
+    :func:`build_bfs_tree`; its purpose here is to let examples and tests
+    demonstrate and *cost* the setup phase the paper only mentions in
+    passing.
+
+    The protocol is driven directly against a
+    :class:`~repro.network.channel.WirelessChannel`.
+    """
+
+    MESSAGE_KIND = "tree_setup"
+
+    def __init__(self, channel, root: NodeId = 0):
+        self.channel = channel
+        self.root = root
+        self.best_hops: Dict[NodeId, int] = {root: 0}
+        self.parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+
+    def run(self) -> SpanningTree:
+        """Execute the setup flood and return the resulting tree."""
+        for nid in self.channel.graph.nodes:
+            if self.channel.is_alive(nid):
+                self.channel.register(nid, self._make_receiver(nid))
+        self.channel.broadcast(
+            self.root, TreeBeacon(origin=self.root, hops=0), self.MESSAGE_KIND
+        )
+        self.channel.sim.run()
+        alive = {n for n in self.channel.graph.nodes if self.channel.is_alive(n)}
+        missing = alive - set(self.parent)
+        if missing:
+            raise TreeError(
+                f"tree setup did not reach nodes {sorted(missing)}; "
+                "topology may be disconnected"
+            )
+        return SpanningTree(root=self.root, parent=dict(self.parent))
+
+    def _make_receiver(self, node_id: NodeId):
+        def receive(sender: NodeId, frame) -> None:
+            if not isinstance(frame, TreeBeacon):
+                return
+            hops = frame.hops + 1
+            best = self.best_hops.get(node_id)
+            current_parent = self.parent.get(node_id)
+            better = best is None or hops < best or (
+                hops == best and current_parent is not None and sender < current_parent
+            )
+            if node_id == self.root or not better:
+                return
+            first_adoption = best is None
+            self.best_hops[node_id] = hops
+            self.parent[node_id] = sender
+            if first_adoption:
+                self.channel.broadcast(
+                    node_id, TreeBeacon(origin=node_id, hops=hops), self.MESSAGE_KIND
+                )
+
+        return receive

@@ -1,0 +1,319 @@
+"""Network topology: node placement and connectivity.
+
+The paper evaluates a 50-node network (one root) simulated in OMNeT++.  This
+module provides the placement/connectivity substrate: a :class:`Topology`
+value object (positions + an undirected connectivity graph) and generators
+for the deployment styles used by the experiments:
+
+* :func:`random_geometric_topology` -- nodes scattered uniformly in a square
+  field, connected when within radio range (unit-disk model).  This is the
+  default used to reproduce the paper's 50-node network.
+* :func:`grid_topology` -- regular grid placement, useful for controlled
+  tests.
+* :func:`kary_tree_topology` -- a complete k-ary tree laid out in the plane,
+  used to validate the analytical model of §5 against simulation.
+
+Topologies are immutable for hashing/reproducibility except through the
+explicit :meth:`Topology.without_node` / :meth:`Topology.with_node` copies,
+which model node death and addition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .addresses import NodeId
+
+Position = Tuple[float, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Topology:
+    """Immutable node placement + connectivity.
+
+    Attributes
+    ----------
+    graph:
+        Undirected :class:`networkx.Graph` whose nodes are node ids and whose
+        edges are radio links.
+    positions:
+        Mapping node id -> (x, y) coordinates in metres.
+    comm_range:
+        The radio range used to derive connectivity (``None`` for synthetic
+        topologies like the explicit k-ary tree).
+    """
+
+    graph: nx.Graph
+    positions: Dict[NodeId, Position]
+    comm_range: Optional[float] = None
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """Sorted list of node identifiers."""
+        return sorted(self.graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        """Number of undirected radio links (edges)."""
+        return self.graph.number_of_edges()
+
+    def neighbors(self, node_id: NodeId) -> List[NodeId]:
+        """Sorted one-hop neighbours of ``node_id``."""
+        if node_id not in self.graph:
+            raise KeyError(f"unknown node {node_id}")
+        return sorted(self.graph.neighbors(node_id))
+
+    def degree(self, node_id: NodeId) -> int:
+        return self.graph.degree[node_id]
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self.graph
+
+    def has_link(self, a: NodeId, b: NodeId) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def position(self, node_id: NodeId) -> Position:
+        return self.positions[node_id]
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Euclidean distance between two nodes' positions."""
+        (xa, ya), (xb, yb) = self.positions[a], self.positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def is_connected(self) -> bool:
+        """Whether the connectivity graph is a single component."""
+        if self.num_nodes == 0:
+            return True
+        return nx.is_connected(self.graph)
+
+    def position_array(self, order: Optional[Sequence[NodeId]] = None) -> np.ndarray:
+        """Positions as an ``(n, 2)`` array, in ``order`` (default: sorted ids)."""
+        ids = list(order) if order is not None else self.node_ids
+        return np.array([self.positions[i] for i in ids], dtype=float)
+
+    # -- topology edits (return copies) ---------------------------------------
+
+    def without_node(self, node_id: NodeId) -> "Topology":
+        """Copy of this topology with ``node_id`` (and its links) removed."""
+        if node_id not in self.graph:
+            raise KeyError(f"unknown node {node_id}")
+        g = self.graph.copy()
+        g.remove_node(node_id)
+        positions = {k: v for k, v in self.positions.items() if k != node_id}
+        return Topology(graph=g, positions=positions, comm_range=self.comm_range)
+
+    def with_node(
+        self,
+        node_id: NodeId,
+        position: Position,
+        neighbors: Optional[Iterable[NodeId]] = None,
+    ) -> "Topology":
+        """Copy of this topology with a new node added.
+
+        When ``neighbors`` is omitted and the topology has a ``comm_range``,
+        links are derived from the unit-disk rule; otherwise the explicit
+        neighbour list is used.
+        """
+        if node_id in self.graph:
+            raise ValueError(f"node {node_id} already exists")
+        g = self.graph.copy()
+        g.add_node(node_id)
+        positions = dict(self.positions)
+        positions[node_id] = (float(position[0]), float(position[1]))
+        if neighbors is None:
+            if self.comm_range is None:
+                raise ValueError(
+                    "neighbors must be given for topologies without comm_range"
+                )
+            for other, pos in self.positions.items():
+                if math.dist(pos, positions[node_id]) <= self.comm_range:
+                    g.add_edge(node_id, other)
+        else:
+            for other in neighbors:
+                if other not in g:
+                    raise KeyError(f"unknown neighbor {other}")
+                g.add_edge(node_id, other)
+        return Topology(graph=g, positions=positions, comm_range=self.comm_range)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(nodes={self.num_nodes}, links={self.num_links}, "
+            f"range={self.comm_range})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def _unit_disk_graph(positions: Dict[NodeId, Position], comm_range: float) -> nx.Graph:
+    """Build the unit-disk connectivity graph for the given positions."""
+    g = nx.Graph()
+    g.add_nodes_from(positions)
+    ids = sorted(positions)
+    coords = np.array([positions[i] for i in ids], dtype=float)
+    if len(ids) > 1:
+        # Pairwise distances, vectorised; n is small (tens to hundreds).
+        diffs = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diffs**2).sum(axis=-1))
+        within = dist <= comm_range
+        for i_idx in range(len(ids)):
+            for j_idx in range(i_idx + 1, len(ids)):
+                if within[i_idx, j_idx]:
+                    g.add_edge(ids[i_idx], ids[j_idx])
+    return g
+
+
+def random_geometric_topology(
+    num_nodes: int,
+    comm_range: float,
+    area_size: float = 100.0,
+    rng: Optional[np.random.Generator] = None,
+    ensure_connected: bool = True,
+    root_id: NodeId = 0,
+    root_position: Optional[Position] = None,
+    max_attempts: int = 200,
+) -> Topology:
+    """Scatter nodes uniformly in a square field with unit-disk connectivity.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total number of nodes including the root.
+    comm_range:
+        Radio range in the same units as ``area_size``.
+    area_size:
+        Side length of the square deployment field.
+    rng:
+        Random generator; a fresh default generator is used when omitted
+        (pass one for reproducibility).
+    ensure_connected:
+        Re-draw placements until the topology is connected (the paper's
+        network is connected by construction).
+    root_id:
+        Identifier of the root/sink node.
+    root_position:
+        Fixed position for the root (defaults to the field centre), which
+        mimics a sink placed deliberately by the deployment team.
+    max_attempts:
+        Safety bound on connectivity re-draws.
+
+    Raises
+    ------
+    RuntimeError
+        If a connected deployment cannot be found within ``max_attempts``.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if comm_range <= 0:
+        raise ValueError("comm_range must be positive")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    root_pos: Position = (
+        (area_size / 2.0, area_size / 2.0) if root_position is None else root_position
+    )
+
+    for _ in range(max_attempts):
+        positions: Dict[NodeId, Position] = {}
+        other_ids = [i for i in range(num_nodes) if i != root_id]
+        coords = rng.uniform(0.0, area_size, size=(len(other_ids), 2))
+        positions[root_id] = (float(root_pos[0]), float(root_pos[1]))
+        for idx, nid in enumerate(other_ids):
+            positions[nid] = (float(coords[idx, 0]), float(coords[idx, 1]))
+        graph = _unit_disk_graph(positions, comm_range)
+        topo = Topology(graph=graph, positions=positions, comm_range=comm_range)
+        if not ensure_connected or topo.is_connected():
+            return topo
+    raise RuntimeError(
+        f"could not generate a connected topology with n={num_nodes}, "
+        f"range={comm_range}, area={area_size} after {max_attempts} attempts; "
+        "increase comm_range or decrease area_size"
+    )
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    spacing: float = 10.0,
+    comm_range: Optional[float] = None,
+    root_id: NodeId = 0,
+) -> Topology:
+    """Regular ``rows x cols`` grid.
+
+    By default the radio range is set to 1.5x the grid spacing so that each
+    node hears its 4-neighbourhood but not diagonal nodes at distance
+    ``spacing * sqrt(2)`` > 1.5 would... note 1.5 > sqrt(2) ~ 1.414, so
+    diagonals are included; pass ``comm_range=spacing * 1.1`` for a strict
+    4-neighbour grid.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    if comm_range is None:
+        comm_range = spacing * 1.1
+    positions: Dict[NodeId, Position] = {}
+    nid = 0
+    for r in range(rows):
+        for c in range(cols):
+            positions[nid] = (c * spacing, r * spacing)
+            nid += 1
+    graph = _unit_disk_graph(positions, comm_range)
+    topo = Topology(graph=graph, positions=positions, comm_range=comm_range)
+    if root_id not in positions:
+        raise ValueError(f"root_id {root_id} outside grid of {rows * cols} nodes")
+    return topo
+
+
+def kary_tree_topology(
+    branching: int,
+    depth: int,
+    spacing: float = 10.0,
+) -> Topology:
+    """A complete k-ary tree of the given depth, laid out level by level.
+
+    Used to validate the §5 analytical model: the connectivity graph *is*
+    the tree (no shortcut links), so simulated flooding / dissemination costs
+    can be compared with the closed-form expressions exactly.
+
+    ``depth`` follows the paper's convention: a tree of depth ``d`` has
+    ``d + 1`` levels (the root is at depth 0) and ``(k^(d+1) - 1) / (k - 1)``
+    nodes for ``k > 1``.
+    """
+    if branching < 1:
+        raise ValueError("branching factor must be >= 1")
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    graph = nx.Graph()
+    positions: Dict[NodeId, Position] = {}
+    graph.add_node(0)
+    positions[0] = (0.0, 0.0)
+    next_id = 1
+    frontier = [0]
+    for level in range(1, depth + 1):
+        new_frontier: List[NodeId] = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = next_id
+                next_id += 1
+                graph.add_node(child)
+                graph.add_edge(parent, child)
+                new_frontier.append(child)
+        # Spread the level horizontally for a readable layout.
+        width = max(len(new_frontier) - 1, 1)
+        for idx, child in enumerate(new_frontier):
+            x = (idx - width / 2.0) * spacing
+            positions[child] = (x, -level * spacing)
+        frontier = new_frontier
+    return Topology(graph=graph, positions=positions, comm_range=None)

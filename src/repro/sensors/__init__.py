@@ -1,0 +1,38 @@
+"""Sensing substrate: sensor types, synthetic phenomena, datasets, sensors."""
+
+from .dataset import SensorDataset
+from .phenomena import (
+    PhenomenonField,
+    ar1_coefficient,
+    empirical_spatial_correlation,
+    generate_fields,
+    spatial_covariance,
+)
+from .sensor import SamplingCounter, Sensor
+from .types import (
+    DEFAULT_SENSOR_TYPES,
+    HUMIDITY,
+    LIGHT,
+    PRESSURE,
+    TEMPERATURE,
+    SensorTypeSpec,
+    default_type_specs,
+)
+
+__all__ = [
+    "SensorDataset",
+    "PhenomenonField",
+    "ar1_coefficient",
+    "empirical_spatial_correlation",
+    "generate_fields",
+    "spatial_covariance",
+    "SamplingCounter",
+    "Sensor",
+    "DEFAULT_SENSOR_TYPES",
+    "TEMPERATURE",
+    "HUMIDITY",
+    "LIGHT",
+    "PRESSURE",
+    "SensorTypeSpec",
+    "default_type_specs",
+]

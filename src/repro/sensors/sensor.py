@@ -1,0 +1,92 @@
+"""Sensors mounted on nodes.
+
+A :class:`Sensor` is the bridge between a node and the ground-truth
+:class:`~repro.sensors.dataset.SensorDataset`: sampling it at an epoch
+returns the dataset value for that node (plus optional calibration error),
+so the protocol under test observes exactly the synthetic phenomena the
+experiment generated.
+
+The paper notes as future work that continuous sampling is energy-hungry;
+:class:`SamplingCounter` tracks how many acquisitions each sensor performed
+so that ablations can quantify that cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..network.addresses import NodeId
+from .dataset import SensorDataset
+
+
+class SamplingCounter:
+    """Counts sensor acquisitions per (node, sensor type)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[tuple[NodeId, str], int] = {}
+
+    def record(self, node_id: NodeId, sensor_type: str) -> None:
+        key = (node_id, sensor_type)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, node_id: Optional[NodeId] = None, sensor_type: Optional[str] = None) -> int:
+        """Total acquisitions matching the given filters."""
+        total = 0
+        for (nid, stype), c in self._counts.items():
+            if node_id is not None and nid != node_id:
+                continue
+            if sensor_type is not None and stype != sensor_type:
+                continue
+            total += c
+        return total
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+class Sensor:
+    """One physical sensor of a given type mounted on a node.
+
+    Parameters
+    ----------
+    node_id:
+        The node the sensor is mounted on.
+    sensor_type:
+        Which phenomenon it measures (must exist in the dataset).
+    dataset:
+        Ground-truth dataset backing the readings.
+    calibration_offset:
+        Constant additive error of this particular sensor unit (defaults to
+        a perfectly calibrated sensor).
+    counter:
+        Optional :class:`SamplingCounter` to record acquisitions in.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sensor_type: str,
+        dataset: SensorDataset,
+        calibration_offset: float = 0.0,
+        counter: Optional[SamplingCounter] = None,
+    ):
+        if not dataset.has_type(sensor_type):
+            raise KeyError(f"dataset has no sensor type {sensor_type!r}")
+        dataset.column_of(node_id)  # raises if the node is unknown
+        self.node_id = node_id
+        self.sensor_type = sensor_type
+        self.dataset = dataset
+        self.calibration_offset = float(calibration_offset)
+        self.counter = counter
+
+    def sample(self, epoch: int) -> float:
+        """Acquire a reading for the given epoch."""
+        if self.counter is not None:
+            self.counter.record(self.node_id, self.sensor_type)
+        return (
+            self.dataset.reading(self.sensor_type, self.node_id, epoch)
+            + self.calibration_offset
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sensor(node={self.node_id}, type={self.sensor_type!r})"

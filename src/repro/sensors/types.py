@@ -1,0 +1,138 @@
+"""Sensor type definitions.
+
+The paper's synthetic dataset has four sensor types; environmental nodes
+typically carry temperature, relative humidity, light and barometric
+pressure sensors, so those are the defaults here.  Sensor types are plain
+strings (not an enum) so that *new* types can be introduced after deployment
+-- one of DirQ's explicit design goals ("a user is not required to have
+prior information about all the types of sensors that may be added to the
+network after the initial deployment", §1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+TEMPERATURE = "temperature"
+HUMIDITY = "humidity"
+LIGHT = "light"
+PRESSURE = "pressure"
+
+DEFAULT_SENSOR_TYPES: Tuple[str, str, str, str] = (
+    TEMPERATURE,
+    HUMIDITY,
+    LIGHT,
+    PRESSURE,
+)
+"""The paper's four synthetic sensor types."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SensorTypeSpec:
+    """Physical characteristics of one sensor type.
+
+    Attributes
+    ----------
+    name:
+        Sensor type identifier (free-form string).
+    unit:
+        Unit of measurement, for reporting only.
+    base_value:
+        Long-run mean of the measured field.
+    spatial_scale:
+        Correlation length (metres) of the field across the deployment area;
+        larger values mean readings at nearby nodes are more similar.
+    temporal_scale:
+        Correlation time (epochs) of the field; larger values mean slower
+        variation.
+    amplitude:
+        Standard deviation of the stochastic component of the field.
+    diurnal_amplitude:
+        Amplitude of the deterministic daily cycle (0 to disable).
+    noise_std:
+        Per-sample measurement noise added on top of the underlying field.
+    full_scale:
+        Nominal dynamic range of the phenomenon (max - min a deployment is
+        expected to observe).  DirQ's percentage thresholds (δ = 3 %, 5 %,
+        9 %...) are expressed relative to this value, so it fixes the meaning
+        of "δ percent" independently of how long a particular run happens to
+        be.  ``None`` lets the experiment runner fall back to the empirical
+        range of the generated dataset.
+    """
+
+    name: str
+    unit: str = ""
+    base_value: float = 0.0
+    spatial_scale: float = 30.0
+    temporal_scale: float = 200.0
+    amplitude: float = 1.0
+    diurnal_amplitude: float = 0.0
+    noise_std: float = 0.0
+    full_scale: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sensor type name must be non-empty")
+        if self.spatial_scale <= 0 or self.temporal_scale <= 0:
+            raise ValueError("spatial_scale and temporal_scale must be positive")
+        if self.amplitude < 0 or self.noise_std < 0 or self.diurnal_amplitude < 0:
+            raise ValueError("amplitudes and noise must be non-negative")
+        if self.full_scale is not None and self.full_scale <= 0:
+            raise ValueError("full_scale must be positive when given")
+
+
+def default_type_specs() -> Dict[str, SensorTypeSpec]:
+    """Specs for the four default sensor types.
+
+    Values are chosen to look like a temperate outdoor deployment (the
+    paper's forest-monitoring scenario): temperature around 20 °C with a
+    visible diurnal swing, humidity around 60 %, light with a strong daily
+    cycle, pressure slowly drifting around 1013 hPa.
+    """
+    return {
+        TEMPERATURE: SensorTypeSpec(
+            name=TEMPERATURE,
+            unit="degC",
+            base_value=20.0,
+            spatial_scale=18.0,
+            temporal_scale=700.0,
+            amplitude=2.5,
+            diurnal_amplitude=1.0,
+            noise_std=0.05,
+            full_scale=15.0,
+        ),
+        HUMIDITY: SensorTypeSpec(
+            name=HUMIDITY,
+            unit="%RH",
+            base_value=60.0,
+            spatial_scale=20.0,
+            temporal_scale=800.0,
+            amplitude=6.0,
+            diurnal_amplitude=2.0,
+            noise_std=0.2,
+            full_scale=35.0,
+        ),
+        LIGHT: SensorTypeSpec(
+            name=LIGHT,
+            unit="lux",
+            base_value=500.0,
+            spatial_scale=15.0,
+            temporal_scale=400.0,
+            amplitude=100.0,
+            diurnal_amplitude=60.0,
+            noise_std=5.0,
+            full_scale=600.0,
+        ),
+        PRESSURE: SensorTypeSpec(
+            name=PRESSURE,
+            unit="hPa",
+            base_value=1013.0,
+            spatial_scale=40.0,
+            temporal_scale=1200.0,
+            amplitude=3.0,
+            diurnal_amplitude=0.5,
+            noise_std=0.05,
+            full_scale=18.0,
+        ),
+    }

@@ -1,0 +1,17 @@
+"""Shared utility helpers."""
+
+from .validation import (
+    require_fraction,
+    require_non_negative,
+    require_positive,
+    require_subset,
+    require_unique,
+)
+
+__all__ = [
+    "require_fraction",
+    "require_non_negative",
+    "require_positive",
+    "require_subset",
+    "require_unique",
+]

@@ -1,0 +1,47 @@
+"""Small validation helpers shared across packages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_fraction(value: float, name: str, inclusive: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1] (or (0, 1))."""
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def require_unique(values: Sequence[T], name: str) -> Sequence[T]:
+    """Raise ``ValueError`` if ``values`` contains duplicates."""
+    if len(set(values)) != len(values):
+        raise ValueError(f"{name} contains duplicate entries")
+    return values
+
+
+def require_subset(candidates: Iterable[T], allowed: Iterable[T], name: str) -> None:
+    """Raise ``ValueError`` unless every candidate is in ``allowed``."""
+    extra = set(candidates) - set(allowed)
+    if extra:
+        raise ValueError(f"{name} contains unknown entries: {sorted(map(str, extra))}")

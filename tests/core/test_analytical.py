@@ -1,0 +1,139 @@
+"""Tests for the §5 analytical cost model."""
+
+import pytest
+
+from repro.core.analytical import (
+    analytical_table,
+    build_kary_tree,
+    dirq_total_cost,
+    f_max,
+    flooding_cost,
+    flooding_cost_by_enumeration,
+    flooding_cost_general,
+    max_query_cost_by_enumeration,
+    max_query_dissemination_cost,
+    max_update_cost,
+    max_update_cost_by_enumeration,
+    paper_example,
+    tree_num_internal,
+    tree_num_leaves,
+    tree_num_links,
+    tree_num_nodes,
+    update_budget_per_hour,
+)
+
+
+class TestTreeCounts:
+    def test_binary_tree_counts(self):
+        assert tree_num_nodes(2, 4) == 31
+        assert tree_num_links(2, 4) == 30
+        assert tree_num_leaves(2, 4) == 16
+        assert tree_num_internal(2, 4) == 15
+
+    def test_degenerate_path(self):
+        assert tree_num_nodes(1, 5) == 6
+        assert tree_num_leaves(1, 5) == 1
+
+    def test_depth_zero(self):
+        assert tree_num_nodes(3, 0) == 1
+        assert tree_num_links(3, 0) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            tree_num_nodes(0, 3)
+        with pytest.raises(ValueError):
+            tree_num_nodes(2, -1)
+
+
+class TestClosedForms:
+    def test_flooding_cost_is_nodes_plus_twice_links(self):
+        # eq. (3): N + 2L for the k-ary tree.
+        assert flooding_cost(2, 4) == 31 + 2 * 30
+        assert flooding_cost(3, 3) == 40 + 2 * 39
+
+    def test_flooding_cost_general(self):
+        assert flooding_cost_general(50, 150) == 50 + 300
+        with pytest.raises(ValueError):
+            flooding_cost_general(-1, 0)
+
+    def test_query_cost_counts_internal_tx_and_nonroot_rx(self):
+        # eq. (5): internal nodes transmit once, non-root nodes receive once.
+        assert max_query_dissemination_cost(2, 4) == 15 + 30
+
+    def test_update_cost_is_two_per_nonroot_node(self):
+        # eq. (6): every non-root node unicasts one update (tx + rx).
+        assert max_update_cost(2, 4) == 2 * 30
+
+    def test_total_cost_combines_query_and_updates(self):
+        assert dirq_total_cost(2, 4, f=0.0) == max_query_dissemination_cost(2, 4)
+        assert dirq_total_cost(2, 4, f=1.0) == pytest.approx(45 + 60)
+        with pytest.raises(ValueError):
+            dirq_total_cost(2, 4, f=-0.1)
+
+    def test_paper_worked_example_fmax(self):
+        """§5.3: for k=2, d=4 the paper reports f_max < 0.76 (~0.767)."""
+        value = f_max(2, 4)
+        assert value == pytest.approx((91.0 - 45.0) / 60.0)
+        assert 0.74 < value < 0.78
+
+    def test_fmax_threshold_property(self):
+        """At f = f_max DirQ's worst case exactly equals flooding."""
+        for k, d in [(2, 3), (3, 3), (4, 2), (8, 2)]:
+            assert dirq_total_cost(k, d, f_max(k, d)) == pytest.approx(
+                flooding_cost(k, d)
+            )
+
+    def test_dirq_cheaper_than_flooding_below_fmax(self):
+        k, d = 3, 4
+        assert dirq_total_cost(k, d, 0.5 * f_max(k, d)) < flooding_cost(k, d)
+        assert dirq_total_cost(k, d, 1.5 * f_max(k, d)) > flooding_cost(k, d)
+
+
+class TestEnumerationCrossCheck:
+    @pytest.mark.parametrize("k,d", [(2, 2), (2, 4), (3, 2), (3, 3), (4, 3), (8, 2)])
+    def test_closed_forms_match_enumeration(self, k, d):
+        tree = build_kary_tree(k, d)
+        assert flooding_cost(k, d) == flooding_cost_by_enumeration(tree)
+        assert max_query_dissemination_cost(k, d) == max_query_cost_by_enumeration(tree)
+        assert max_update_cost(k, d) == max_update_cost_by_enumeration(tree)
+
+    def test_built_tree_structure(self):
+        tree = build_kary_tree(3, 2)
+        assert tree.num_nodes == 13
+        assert tree.depth == 2
+        assert tree.max_branching == 3
+        assert len(tree.leaves) == 9
+
+
+class TestUpdateBudget:
+    def test_budget_scales_with_query_rate(self):
+        b1 = update_budget_per_hour(10, flooding_cost_per_query=400, query_cost_per_query=50)
+        b2 = update_budget_per_hour(20, flooding_cost_per_query=400, query_cost_per_query=50)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_budget_formula(self):
+        # 25 queries/hour, headroom (400-60) per query, 2 units per update.
+        assert update_budget_per_hour(25, 400.0, 60.0) == pytest.approx(25 * 340 / 2)
+
+    def test_budget_never_negative(self):
+        assert update_budget_per_hour(10, 100.0, 150.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            update_budget_per_hour(-1, 100, 10)
+        with pytest.raises(ValueError):
+            update_budget_per_hour(1, 100, 10, cost_per_update=0)
+
+
+class TestReportHelpers:
+    def test_analytical_table_rows(self):
+        rows = analytical_table([(2, 4), (3, 3)])
+        assert len(rows) == 2
+        assert rows[0].num_nodes == 31
+        assert rows[0].f_max == pytest.approx(f_max(2, 4))
+
+    def test_paper_example_dict(self):
+        example = paper_example()
+        assert example["num_nodes"] == 31
+        assert example["flooding_cost"] == 91.0
+        assert example["f_max"] == pytest.approx(f_max(2, 4))

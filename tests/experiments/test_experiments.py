@@ -1,0 +1,228 @@
+"""Tests for the experiment configuration, runner, and figure harnesses.
+
+These use deliberately small networks and epoch counts so the whole module
+runs in seconds; the benchmarks exercise the paper-scale settings.
+"""
+
+import pytest
+
+from repro.core.config import ThresholdMode
+from repro.experiments.config import ExperimentConfig, ProtocolName, TopologyEvent
+from repro.experiments.runner import ExperimentRunner, run_experiment
+from repro.experiments.scenarios import paper_network, small_network
+from repro.experiments import fig5_accuracy, fig6_updates, fig7_overshoot, headline
+from repro.experiments import table_analytical
+from repro.metrics.accuracy import delivery_completeness
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        num_nodes=15,
+        comm_range=40.0,
+        num_epochs=200,
+        query_period=20,
+        target_coverage=0.4,
+        query_sensor_type="temperature",
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tiny_config):
+    return run_experiment(tiny_config.with_fixed_delta(5.0))
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_setup(self):
+        cfg = paper_network()
+        assert cfg.num_nodes == 50
+        assert cfg.query_period == 20
+        assert cfg.num_epochs == 20_000
+
+    def test_with_fixed_delta_and_atc(self, tiny_config):
+        fixed = tiny_config.with_fixed_delta(9.0)
+        assert fixed.dirq.delta_percent == 9.0
+        assert fixed.dirq.threshold_mode == ThresholdMode.FIXED
+        atc = tiny_config.with_atc(target_cost_ratio=0.4)
+        assert atc.dirq.threshold_mode == ThresholdMode.ADAPTIVE
+        assert atc.dirq.atc_target_cost_ratio == 0.4
+        flood = tiny_config.with_flooding()
+        assert flood.protocol == ProtocolName.FLOODING
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_nodes=1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(target_coverage=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(protocol="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ExperimentConfig(initially_dead={0})
+        with pytest.raises(ValueError):
+            TopologyEvent(epoch=1, kind="explode", node_id=2)
+
+
+class TestRunnerDirQ:
+    def test_injects_expected_number_of_queries(self, tiny_result, tiny_config):
+        expected = len(range(tiny_config.query_period, tiny_config.num_epochs,
+                             tiny_config.query_period))
+        assert tiny_result.num_queries == expected
+        assert len(tiny_result.audit.records) == expected
+        assert len(tiny_result.per_query_costs) == expected
+
+    def test_flooding_reference_uses_alive_topology(self, tiny_result, tiny_config):
+        # N + 2L for 15 nodes: at least 15 + 2*14.
+        assert tiny_result.flooding_cost_per_query >= 15 + 2 * 14
+
+    def test_queries_are_mostly_delivered(self, tiny_result):
+        assert delivery_completeness(tiny_result.audit.records) > 0.9
+
+    def test_cost_breakdown_contains_query_and_update_traffic(self, tiny_result):
+        assert tiny_result.breakdown.query_cost > 0
+        assert tiny_result.breakdown.update_cost > 0
+        assert tiny_result.breakdown.flood_cost == 0
+
+    def test_update_series_covers_run(self, tiny_result, tiny_config):
+        assert len(tiny_result.update_series) == tiny_config.num_epochs // tiny_config.window_epochs
+
+    def test_reproducible_with_same_seed(self, tiny_config):
+        a = run_experiment(tiny_config.with_fixed_delta(5.0))
+        b = run_experiment(tiny_config.with_fixed_delta(5.0))
+        assert a.total_dirq_cost == b.total_dirq_cost
+        assert a.mean_overshoot_percent == b.mean_overshoot_percent
+        assert [r.received for r in a.audit.records] == [
+            r.received for r in b.audit.records
+        ]
+
+    def test_different_seed_changes_workload(self, tiny_config):
+        a = run_experiment(tiny_config.with_fixed_delta(5.0))
+        b = run_experiment(tiny_config.replace(seed=99).with_fixed_delta(5.0))
+        assert a.total_dirq_cost != b.total_dirq_cost
+
+    def test_build_is_idempotent(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        assert runner.build() is runner.build()
+
+
+class TestRunnerFlooding:
+    def test_flooding_cost_matches_analytic_reference(self, tiny_config):
+        result = run_experiment(tiny_config.with_flooding())
+        expected = result.flooding_cost_per_query * result.num_queries
+        assert result.breakdown.flood_cost == pytest.approx(expected)
+
+    def test_flooding_reaches_every_alive_node(self, tiny_config):
+        result = run_experiment(tiny_config.with_flooding())
+        for record in result.audit.records:
+            assert len(record.received) == tiny_config.num_nodes - 1
+
+
+class TestRunnerDynamics:
+    def test_node_failures_are_survivable(self):
+        base = ExperimentConfig(
+            num_nodes=15,
+            comm_range=45.0,
+            num_epochs=300,
+            query_period=20,
+            target_coverage=0.4,
+            query_sensor_type="temperature",
+            seed=8,
+            topology_events=[
+                TopologyEvent(epoch=100, kind=TopologyEvent.KILL, node_id=5),
+                TopologyEvent(epoch=100, kind=TopologyEvent.KILL, node_id=9),
+            ],
+        )
+        result = run_experiment(base.with_fixed_delta(5.0))
+        assert result.alive_at_end == set(range(15)) - {5, 9}
+        assert 5 not in result.tree
+        late_records = result.audit.records_between(150, 300)
+        assert delivery_completeness(late_records) > 0.8
+
+    def test_killing_root_is_rejected(self):
+        cfg = ExperimentConfig(
+            num_nodes=10,
+            comm_range=45.0,
+            num_epochs=100,
+            topology_events=[TopologyEvent(epoch=10, kind="kill", node_id=0)],
+        )
+        with pytest.raises(ValueError):
+            run_experiment(cfg)
+
+    def test_initially_dead_node_can_be_activated(self):
+        cfg = ExperimentConfig(
+            num_nodes=12,
+            comm_range=45.0,
+            num_epochs=200,
+            query_period=20,
+            query_sensor_type="temperature",
+            seed=4,
+            initially_dead={7},
+            topology_events=[
+                TopologyEvent(epoch=80, kind=TopologyEvent.ACTIVATE, node_id=7)
+            ],
+        )
+        result = run_experiment(cfg.with_fixed_delta(5.0))
+        assert 7 in result.alive_at_end
+        assert 7 in result.tree
+
+    def test_heterogeneous_assignment(self):
+        cfg = ExperimentConfig(
+            num_nodes=12,
+            comm_range=45.0,
+            num_epochs=150,
+            query_period=30,
+            seed=6,
+            sensors_per_node=2,
+        )
+        result = run_experiment(cfg.with_fixed_delta(5.0))
+        assert result.num_queries > 0
+        assert delivery_completeness(result.audit.records) > 0.7
+
+
+class TestFigureHarnesses:
+    def test_fig5_run_produces_points_per_delta_and_coverage(self):
+        result = fig5_accuracy.run(
+            deltas=(3.0, 9.0),
+            coverages=(0.4,),
+            num_epochs=150,
+            base_config=small_network(num_nodes=14, num_epochs=150),
+        )
+        assert len(result.points) == 2
+        text = fig5_accuracy.report(result)
+        assert "RECEIVE" in text and "delta" in text
+
+    def test_fig6_run_produces_series_and_references(self):
+        result = fig6_updates.run(
+            deltas=(5.0,),
+            num_epochs=200,
+            base_config=small_network(num_nodes=14, num_epochs=200),
+        )
+        assert "atc" in result.series.names()
+        assert result.umax_per_window > 0
+        assert "delta=5%" in result.cost_ratios
+        assert "U_max" in fig6_updates.report(result)
+
+    def test_fig7_run_produces_overshoot_series(self):
+        result = fig7_overshoot.run(
+            deltas=(5.0,),
+            num_epochs=200,
+            include_atc=False,
+            window_epochs=100,
+            base_config=small_network(num_nodes=14, num_epochs=200),
+        )
+        assert "delta=5%" in result.series
+        assert "Overshoot" in fig7_overshoot.report(result)
+
+    def test_headline_comparison(self):
+        result = headline.run(
+            num_epochs=200, base_config=small_network(num_nodes=14, num_epochs=200)
+        )
+        assert result.comparison.flooding_total > 0
+        assert 0 < result.cost_ratio < 2.0
+        assert "flooding" in headline.report(result)
+
+    def test_analytical_experiment_consistency(self):
+        rows, checks, example = table_analytical.run()
+        assert all(c.consistent for c in checks)
+        assert example["f_max"] == pytest.approx(0.7667, abs=1e-3)
+        assert "f_max" in table_analytical.report(rows, checks, example)

@@ -1,0 +1,112 @@
+"""Integration tests for topology dynamics (cross-layer adaptation) and
+lossy-channel operation."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, TopologyEvent
+from repro.experiments.runner import run_experiment
+from repro.metrics.accuracy import delivery_completeness
+from repro.mac.crosslayer import NeighborLost
+
+
+@pytest.fixture(scope="module")
+def dynamic_config():
+    return ExperimentConfig(
+        num_nodes=20,
+        comm_range=40.0,
+        num_epochs=500,
+        query_period=20,
+        target_coverage=0.4,
+        query_sensor_type="temperature",
+        seed=17,
+        mac_beacon_interval=5.0,
+        mac_death_threshold=3,
+    )
+
+
+class TestNodeDeathAdaptation:
+    @pytest.fixture(scope="class")
+    def result(self, dynamic_config):
+        cfg = dynamic_config.replace(
+            topology_events=[
+                TopologyEvent(epoch=200, kind=TopologyEvent.KILL, node_id=6),
+                TopologyEvent(epoch=200, kind=TopologyEvent.KILL, node_id=13),
+            ]
+        ).with_fixed_delta(5.0)
+        return run_experiment(cfg)
+
+    def test_dead_nodes_removed_from_tree_and_liveness(self, result):
+        assert 6 not in result.alive_at_end
+        assert 6 not in result.tree
+        assert 13 not in result.tree
+
+    def test_queries_keep_routing_after_failures(self, result):
+        after = result.audit.records_between(280, 500)
+        assert len(after) > 0
+        assert delivery_completeness(after) > 0.85
+
+    def test_dead_nodes_no_longer_receive_queries(self, result):
+        after = result.audit.records_between(280, 500)
+        for record in after:
+            assert 6 not in record.received
+            assert 13 not in record.received
+
+    def test_delivery_quality_comparable_before_and_after(self, result):
+        before = delivery_completeness(result.audit.records_between(0, 199))
+        after = delivery_completeness(result.audit.records_between(280, 500))
+        assert after >= before - 0.15
+
+
+class TestCrossLayerNotifications:
+    def test_lmac_reports_death_and_dirq_prunes_tables(self, dynamic_config):
+        """The §4.2 mechanism end-to-end: LMAC death detection -> DirQ pruning."""
+        from repro.experiments.runner import ExperimentRunner
+
+        cfg = dynamic_config.replace(
+            num_epochs=300,
+            topology_events=[
+                TopologyEvent(epoch=100, kind=TopologyEvent.KILL, node_id=9)
+            ],
+        ).with_fixed_delta(5.0)
+        runner = ExperimentRunner(cfg)
+        world = runner.build()
+        tree_before = world.tree
+        parent_of_victim = tree_before.parent_of(9)
+        runner.run()
+        # The victim's old parent must have received a NeighborLost event
+        # from its MAC layer and dropped the child from its range tables.
+        parent_mac = world.macs[parent_of_victim]
+        lost = parent_mac.crosslayer.events_of(NeighborLost)
+        assert any(e.neighbor_id == 9 for e in lost)
+        parent_proto = world.protocols[parent_of_victim]
+        for table in parent_proto.tables.tables():
+            assert 9 not in table.child_ids
+
+
+class TestLossyChannel:
+    def test_dirq_still_functions_under_moderate_loss(self, dynamic_config):
+        lossless = run_experiment(dynamic_config.with_fixed_delta(5.0))
+        lossy = run_experiment(
+            dynamic_config.replace(channel_loss=0.1).with_fixed_delta(5.0)
+        )
+        assert delivery_completeness(lossy.audit.records) > 0.6
+        # Loss can only reduce delivered queries relative to the ideal channel.
+        assert (
+            delivery_completeness(lossy.audit.records)
+            <= delivery_completeness(lossless.audit.records) + 1e-9
+        )
+
+    def test_loss_reduces_reception_cost_not_transmission_count(self, dynamic_config):
+        lossless = run_experiment(dynamic_config.with_fixed_delta(5.0))
+        lossy = run_experiment(
+            dynamic_config.replace(channel_loss=0.3).with_fixed_delta(5.0)
+        )
+        # Same seed => same sampling behaviour; the lossy run cannot deliver
+        # more receptions per transmission than the ideal one.
+        rx_per_tx_lossless = lossless.ledger.total_count(
+            direction="rx"
+        ) / max(1, lossless.ledger.total_count(direction="tx"))
+        rx_per_tx_lossy = lossy.ledger.total_count(direction="rx") / max(
+            1, lossy.ledger.total_count(direction="tx")
+        )
+        assert rx_per_tx_lossy < rx_per_tx_lossless

@@ -1,0 +1,146 @@
+"""Tests for addressing, neighbour tables, and the sensor node model."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.network.addresses import BROADCAST, is_broadcast, validate_node_id
+from repro.network.links import NeighborTable
+from repro.network.node import SensorNode
+from repro.sensors.dataset import SensorDataset
+
+from ..helpers import constant_dataset
+
+
+class TestAddresses:
+    def test_valid_ids_pass_through(self):
+        assert validate_node_id(0) == 0
+        assert validate_node_id(17) == 17
+
+    def test_broadcast_only_when_allowed(self):
+        assert validate_node_id(BROADCAST, allow_broadcast=True) == BROADCAST
+        with pytest.raises(ValueError):
+            validate_node_id(BROADCAST)
+
+    def test_negative_and_non_int_rejected(self):
+        with pytest.raises(ValueError):
+            validate_node_id(-5)
+        with pytest.raises(TypeError):
+            validate_node_id("3")
+        with pytest.raises(TypeError):
+            validate_node_id(True)
+
+    def test_is_broadcast(self):
+        assert is_broadcast(BROADCAST)
+        assert not is_broadcast(0)
+
+
+class TestNeighborTable:
+    def test_observe_creates_and_updates_entries(self):
+        table = NeighborTable(owner=0)
+        table.observe(1, time=1.0, slot=4)
+        assert 1 in table
+        assert table.get(1).slot == 4
+        table.observe(1, time=5.0, slot=7)
+        assert table.get(1).last_heard == 5.0
+        assert table.get(1).slot == 7
+        assert len(table) == 1
+
+    def test_cannot_observe_self(self):
+        table = NeighborTable(owner=0)
+        with pytest.raises(ValueError):
+            table.observe(0, time=1.0)
+
+    def test_remove(self):
+        table = NeighborTable(owner=0)
+        table.observe(1, 1.0)
+        assert table.remove(1) is True
+        assert table.remove(1) is False
+        assert 1 not in table
+
+    def test_stale_detection(self):
+        table = NeighborTable(owner=0)
+        table.observe(1, time=1.0)
+        table.observe(2, time=9.0)
+        assert table.stale(now=10.0, timeout=5.0) == [1]
+
+    def test_link_quality_smoothing(self):
+        table = NeighborTable(owner=0)
+        table.observe(1, 1.0, quality_sample=1.0)
+        q_before = table.get(1).link_quality
+        table.observe(1, 2.0, quality_sample=0.0, smoothing=0.5)
+        assert table.get(1).link_quality < q_before
+
+    def test_occupied_slots(self):
+        table = NeighborTable(owner=0)
+        table.observe(1, 1.0, slot=3)
+        table.observe(2, 1.0, slot=9)
+        table.observe(3, 1.0)  # slot unknown
+        assert table.occupied_slots() == {3, 9}
+
+    def test_iteration_is_sorted(self):
+        table = NeighborTable(owner=0)
+        table.observe(5, 1.0)
+        table.observe(2, 1.0)
+        assert list(table) == [2, 5]
+        assert table.neighbor_ids == [2, 5]
+
+
+class TestSensorNode:
+    @pytest.fixture
+    def dataset(self) -> SensorDataset:
+        return constant_dataset([0, 1], {0: 5.0, 1: 7.0}, num_epochs=10)
+
+    def test_attach_and_sample(self, dataset):
+        from repro.sensors.sensor import Sensor
+
+        node = SensorNode(1, (0.0, 0.0))
+        node.attach_sensor(Sensor(1, "temperature", dataset))
+        assert node.has_sensor("temperature")
+        assert node.sensor_types == ["temperature"]
+        assert node.sample("temperature", 0) == 7.0
+        assert node.sample_all(0) == {"temperature": 7.0}
+
+    def test_sampling_missing_sensor_raises(self):
+        node = SensorNode(1, (0.0, 0.0))
+        with pytest.raises(KeyError):
+            node.sample("humidity", 0)
+
+    def test_detach_sensor(self, dataset):
+        from repro.sensors.sensor import Sensor
+
+        node = SensorNode(0, (0.0, 0.0))
+        node.attach_sensor(Sensor(0, "temperature", dataset))
+        assert node.detach_sensor("temperature") is True
+        assert node.detach_sensor("temperature") is False
+        assert node.sensor_types == []
+
+    def test_attach_requires_sensor_type(self):
+        node = SensorNode(0, (0.0, 0.0))
+
+        class Broken:
+            sensor_type = ""
+
+        with pytest.raises(ValueError):
+            node.attach_sensor(Broken())
+
+    def test_kill_and_revive(self):
+        node = SensorNode(3, (1.0, 2.0))
+        assert node.alive
+        node.kill()
+        assert not node.alive
+        node.revive()
+        assert node.alive
+
+    def test_default_battery_is_infinite(self):
+        node = SensorNode(0, (0.0, 0.0))
+        assert node.battery.fraction_remaining == 1.0
+        assert not node.battery.depleted
+
+    def test_explicit_battery(self):
+        node = SensorNode(0, (0.0, 0.0), battery=Battery(10.0))
+        node.battery.draw(4.0)
+        assert node.battery.remaining == 6.0
+
+    def test_invalid_node_id(self):
+        with pytest.raises(ValueError):
+            SensorNode(-2, (0.0, 0.0))

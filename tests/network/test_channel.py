@@ -1,0 +1,166 @@
+"""Tests for the wireless channel: delivery, cost accounting, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.energy.model import RadioEnergyModel
+from repro.network.addresses import BROADCAST
+from repro.network.channel import WirelessChannel
+from repro.simulation.engine import Simulator
+
+
+def make_channel(topology, **kwargs):
+    sim = Simulator()
+    return sim, WirelessChannel(sim, topology, **kwargs)
+
+
+class Collector:
+    """Records frames delivered to one node."""
+
+    def __init__(self):
+        self.received = []
+
+    def __call__(self, sender, frame):
+        self.received.append((sender, frame))
+
+
+class TestDelivery:
+    def test_broadcast_reaches_all_neighbors(self, star4):
+        sim, channel = make_channel(star4)
+        sinks = {nid: Collector() for nid in star4.node_ids}
+        for nid, sink in sinks.items():
+            channel.register(nid, sink)
+        delivered = channel.broadcast(0, "hello", kind="test")
+        sim.run()
+        assert delivered == 4
+        for leaf in (1, 2, 3, 4):
+            assert sinks[leaf].received == [(0, "hello")]
+        assert sinks[0].received == []
+
+    def test_unicast_reaches_only_destination(self, star4):
+        sim, channel = make_channel(star4)
+        sinks = {nid: Collector() for nid in star4.node_ids}
+        for nid, sink in sinks.items():
+            channel.register(nid, sink)
+        assert channel.unicast(0, 2, "msg", kind="test") == 1
+        sim.run()
+        assert sinks[2].received == [(0, "msg")]
+        assert sinks[1].received == []
+
+    def test_unicast_to_non_neighbor_is_paid_but_lost(self, line5):
+        sim, channel = make_channel(line5)
+        sink = Collector()
+        channel.register(4, sink)
+        assert channel.unicast(0, 4, "msg", kind="test") == 0
+        sim.run()
+        assert sink.received == []
+        assert channel.ledger.total_count(direction="tx", kind="test") == 1
+        assert channel.ledger.total_count(direction="rx", kind="test") == 0
+
+    def test_delivery_is_delayed_not_immediate(self, star4):
+        sim, channel = make_channel(star4)
+        sink = Collector()
+        channel.register(1, sink)
+        channel.unicast(0, 1, "m", kind="test")
+        assert sink.received == []  # nothing before the event loop runs
+        sim.run()
+        assert sink.received == [(0, "m")]
+
+    def test_register_unknown_node_raises(self, star4):
+        _, channel = make_channel(star4)
+        with pytest.raises(KeyError):
+            channel.register(42, Collector())
+
+    def test_unknown_sender_raises(self, star4):
+        _, channel = make_channel(star4)
+        with pytest.raises(KeyError):
+            channel.broadcast(42, "x", kind="test")
+
+
+class TestCostAccounting:
+    def test_broadcast_costs_one_tx_and_one_rx_per_neighbor(self, star4):
+        sim, channel = make_channel(star4)
+        channel.broadcast(0, "x", kind="query")
+        sim.run()
+        ledger = channel.ledger
+        assert ledger.node(0).count("tx", "query") == 1
+        assert ledger.total_count(direction="rx", kind="query") == 4
+        assert ledger.total_cost(["query"]) == 5.0  # unit model: 1 + 4
+
+    def test_unicast_costs_exactly_two_units(self, line5):
+        sim, channel = make_channel(line5)
+        channel.unicast(1, 2, "x", kind="update")
+        sim.run()
+        assert channel.ledger.total_cost(["update"]) == 2.0
+
+    def test_costs_attributed_per_kind(self, star4):
+        sim, channel = make_channel(star4)
+        channel.broadcast(0, "a", kind="query")
+        channel.unicast(0, 1, "b", kind="update")
+        sim.run()
+        assert channel.ledger.total_cost(["query"]) == 5.0
+        assert channel.ledger.total_cost(["update"]) == 2.0
+        assert channel.ledger.total_cost() == 7.0
+
+    def test_radio_energy_model_scales_with_payload(self, star4):
+        sim, channel = make_channel(star4, energy_model=RadioEnergyModel())
+        channel.unicast(0, 1, "x", kind="data", payload_bytes=100)
+        sim.run()
+        tx = 10.0 + 2.0 * 100
+        rx = 8.0 + 1.5 * 100
+        assert channel.ledger.total_cost(["data"]) == pytest.approx(tx + rx)
+
+
+class TestDynamics:
+    def test_dead_node_does_not_transmit(self, star4):
+        sim, channel = make_channel(star4)
+        channel.set_alive(1, False)
+        assert channel.broadcast(1, "x", kind="test") == 0
+        assert channel.stats.drops_dead_node == 1
+
+    def test_dead_node_does_not_receive(self, star4):
+        sim, channel = make_channel(star4)
+        sink = Collector()
+        channel.register(2, sink)
+        channel.set_alive(2, False)
+        delivered = channel.broadcast(0, "x", kind="test")
+        sim.run()
+        assert delivered == 3  # only the three alive leaves
+        assert sink.received == []
+
+    def test_neighbors_excludes_dead_nodes(self, star4):
+        _, channel = make_channel(star4)
+        channel.set_alive(3, False)
+        assert channel.neighbors(0) == [1, 2, 4]
+
+    def test_num_links_counts_only_alive_pairs(self, star4):
+        _, channel = make_channel(star4)
+        assert channel.num_links == 4
+        channel.set_alive(1, False)
+        assert channel.num_links == 3
+
+    def test_add_node_by_range(self, line5):
+        sim, channel = make_channel(line5)
+        channel.add_node(10, (5.0, 0.0))
+        assert set(channel.neighbors(10)) == {0, 1}
+        sink = Collector()
+        channel.register(10, sink)
+        channel.unicast(0, 10, "welcome", kind="test")
+        sim.run()
+        assert sink.received == [(0, "welcome")]
+
+    def test_channel_loss_drops_fraction_of_receptions(self, star4):
+        sim, channel = make_channel(
+            star4, loss_probability=0.5, rng=np.random.default_rng(0)
+        )
+        total = 0
+        for _ in range(200):
+            total += channel.broadcast(0, "x", kind="test")
+        sim.run()
+        # 200 broadcasts x 4 neighbours = 800 potential receptions at 50% loss.
+        assert 300 < total < 500
+        assert channel.stats.drops_loss == 800 - total
+
+    def test_invalid_loss_probability(self, star4):
+        with pytest.raises(ValueError):
+            make_channel(star4, loss_probability=1.5)

@@ -1,0 +1,168 @@
+"""Tests for spanning-tree construction, traversal, and repair."""
+
+import pytest
+
+from repro.network.spanning_tree import (
+    SpanningTree,
+    TreeError,
+    TreeSetupProtocol,
+    build_bfs_tree,
+)
+from repro.network.channel import WirelessChannel
+from repro.simulation.engine import Simulator
+
+from ..helpers import line_topology, star_topology
+
+
+class TestConstruction:
+    def test_bfs_tree_over_line(self, line5):
+        tree = build_bfs_tree(line5, root=0)
+        assert tree.parent_of(0) is None
+        assert tree.parent_of(3) == 2
+        assert tree.children(0) == [1]
+        assert tree.depth == 4
+
+    def test_bfs_tree_over_star(self, star4):
+        tree = build_bfs_tree(star4, root=0)
+        assert tree.children(0) == [1, 2, 3, 4]
+        assert tree.depth == 1
+        assert tree.max_branching == 4
+
+    def test_all_topology_nodes_present(self, small_topology):
+        tree = build_bfs_tree(small_topology, root=0)
+        assert sorted(tree.node_ids) == small_topology.node_ids
+
+    def test_tree_edges_are_topology_links(self, small_topology):
+        tree = build_bfs_tree(small_topology, root=0)
+        for node in tree.node_ids:
+            parent = tree.parent_of(node)
+            if parent is not None:
+                assert small_topology.has_link(node, parent)
+
+    def test_bfs_paths_are_shortest(self, small_topology):
+        import networkx as nx
+
+        tree = build_bfs_tree(small_topology, root=0)
+        lengths = nx.single_source_shortest_path_length(small_topology.graph, 0)
+        for node in tree.node_ids:
+            assert tree.depth_of(node) == lengths[node]
+
+    def test_unknown_root_raises(self, line5):
+        with pytest.raises(KeyError):
+            build_bfs_tree(line5, root=99)
+
+    def test_invalid_parent_maps_rejected(self):
+        with pytest.raises(TreeError):
+            SpanningTree(root=0, parent={0: None, 1: 2, 2: 1})  # cycle
+        with pytest.raises(TreeError):
+            SpanningTree(root=0, parent={0: 1, 1: None})  # root has a parent
+        with pytest.raises(TreeError):
+            SpanningTree(root=0, parent={0: None, 1: 99})  # unknown parent
+
+
+class TestTraversal:
+    @pytest.fixture
+    def tree(self, line5):
+        return build_bfs_tree(line5, root=0)
+
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root(4) == [4, 3, 2, 1, 0]
+        assert tree.path_to_root(0) == [0]
+
+    def test_subtree_and_descendants(self, tree):
+        assert tree.subtree(2) == [2, 3, 4]
+        assert tree.descendants(2) == [3, 4]
+
+    def test_leaves(self, tree):
+        assert tree.leaves == [4]
+
+    def test_forwarding_set_includes_intermediates_and_root(self, tree):
+        involved = tree.forwarding_set([4])
+        assert involved == {0, 1, 2, 3, 4}
+
+    def test_forwarding_set_of_multiple_sources(self, star4):
+        tree = build_bfs_tree(star4, root=0)
+        assert tree.forwarding_set([2, 3]) == {0, 2, 3}
+
+    def test_levels(self, tree):
+        levels = tree.levels()
+        assert levels[0] == [0]
+        assert levels[4] == [4]
+
+    def test_to_networkx_edges_point_parent_to_child(self, tree):
+        g = tree.to_networkx()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+
+class TestRepair:
+    def test_repair_reattaches_orphans_through_surviving_links(self):
+        # 0 - 1 - 2 and 0 - 3 - 2: killing 1 must reattach 2 via 3.
+        import networkx as nx
+
+        from repro.network.topology import Topology
+
+        graph = nx.Graph([(0, 1), (1, 2), (0, 3), (3, 2)])
+        topo = Topology(
+            graph=graph,
+            positions={0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (1, 1)},
+            comm_range=None,
+        )
+        tree = build_bfs_tree(topo, root=0)
+        assert tree.parent_of(2) in (1, 3)
+
+        def alive_neighbors(node):
+            return [n for n in topo.neighbors(node) if n != 1]
+
+        repaired = tree.repair(1, alive_neighbors)
+        assert 1 not in repaired
+        assert repaired.parent_of(2) == 3
+        assert repaired.parent_of(3) == 0
+
+    def test_repair_drops_partitioned_nodes(self, line5):
+        tree = build_bfs_tree(line5, root=0)
+
+        def alive_neighbors(node):
+            return [n for n in line5.neighbors(node) if n != 2]
+
+        repaired = tree.repair(2, alive_neighbors)
+        # Nodes 3 and 4 can only reach the root through node 2: partitioned.
+        assert 3 not in repaired
+        assert 4 not in repaired
+        assert sorted(repaired.node_ids) == [0, 1]
+
+    def test_repair_of_root_is_rejected(self, line5):
+        tree = build_bfs_tree(line5, root=0)
+        with pytest.raises(TreeError):
+            tree.repair(0, line5.neighbors)
+
+    def test_without_subtree(self, line5):
+        tree = build_bfs_tree(line5, root=0)
+        pruned = tree.without_subtree(3)
+        assert sorted(pruned.node_ids) == [0, 1, 2]
+
+    def test_with_new_node(self, line5):
+        tree = build_bfs_tree(line5, root=0)
+        grown = tree.with_new_node(10, attach_to=2)
+        assert grown.parent_of(10) == 2
+        assert 10 in grown.children(2)
+        with pytest.raises(TreeError):
+            grown.with_new_node(10, attach_to=0)
+
+
+class TestDistributedSetup:
+    def test_distributed_setup_matches_bfs_on_ideal_channel(self, small_topology):
+        sim = Simulator()
+        channel = WirelessChannel(sim, small_topology)
+        protocol = TreeSetupProtocol(channel, root=0)
+        tree = protocol.run()
+        reference = build_bfs_tree(small_topology, root=0)
+        for node in reference.node_ids:
+            assert tree.depth_of(node) == reference.depth_of(node)
+
+    def test_setup_messages_are_costed(self, star4):
+        sim = Simulator()
+        channel = WirelessChannel(sim, star4)
+        TreeSetupProtocol(channel, root=0).run()
+        # Every node broadcast the beacon exactly once.
+        assert channel.ledger.total_count(direction="tx", kind="tree_setup") == 5

@@ -1,0 +1,108 @@
+"""Property-based tests for the simulation engine, ledger, and phenomena."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.ledger import NetworkLedger
+from repro.sensors.phenomena import spatial_covariance
+from repro.simulation.engine import Simulator
+from repro.simulation.rng import RandomStreams
+
+
+class TestEngineProperties:
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=200)
+    def test_events_execute_in_non_decreasing_time_order(self, times):
+        sim = Simulator()
+        executed = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: executed.append(sim.now))
+        sim.run()
+        assert len(executed) == len(times)
+        assert executed == sorted(executed)
+        assert sim.now == max(times)
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        boundary=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_run_until_executes_exactly_the_due_events(self, times, boundary):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run_until(boundary)
+        assert sorted(fired) == sorted(t for t in times if t <= boundary)
+        assert sim.pending == sum(1 for t in times if t > boundary)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31), name=st.text(min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_named_streams_are_reproducible(self, seed, name):
+        a = RandomStreams(seed).get(name).random(4)
+        b = RandomStreams(seed).get(name).random(4)
+        assert np.array_equal(a, b)
+
+
+class TestLedgerProperties:
+    charges = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),          # node
+            st.sampled_from(["query", "update", "estimate", "flood"]),
+            st.booleans(),                                    # tx?
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
+        max_size=200,
+    )
+
+    @given(charges=charges)
+    @settings(max_examples=200)
+    def test_totals_equal_sum_of_parts(self, charges):
+        ledger = NetworkLedger()
+        for node, kind, is_tx, cost in charges:
+            if is_tx:
+                ledger.node(node).charge_tx(kind, cost)
+            else:
+                ledger.node(node).charge_rx(kind, cost)
+        total = sum(cost for _, _, _, cost in charges)
+        assert ledger.total_cost() == np.float64(0) + sum(
+            c for *_rest, c in charges
+        ) or abs(ledger.total_cost() - total) < 1e-6
+        # Per-kind costs partition the total.
+        by_kind = sum(ledger.total_cost([k]) for k in ("query", "update", "estimate", "flood"))
+        assert abs(by_kind - total) < 1e-6
+        # Per-node costs partition the total as well.
+        per_node = sum(ledger.per_node_cost().values())
+        assert abs(per_node - total) < 1e-6
+        # Counts match the number of charges.
+        assert ledger.total_count() == len(charges)
+
+
+class TestPhenomenaProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        scale=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_spatial_covariance_is_valid_correlation_matrix(self, n, scale, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 100, size=(n, 2))
+        cov = spatial_covariance(positions, scale)
+        assert cov.shape == (n, n)
+        assert np.allclose(cov, cov.T)
+        assert np.all(cov <= 1.0 + 1e-8)
+        assert np.all(cov >= 0.0)
+        # Positive definiteness (Cholesky succeeds).
+        np.linalg.cholesky(cov)

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for Range Table invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_table import RangeTable
+
+readings = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+deltas = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestOwnEntryInvariants:
+    @given(sequence=st.lists(readings, min_size=1, max_size=50), delta=deltas)
+    @settings(max_examples=200)
+    def test_own_entry_always_contains_latest_significant_reading(self, sequence, delta):
+        """After any observation sequence the own entry brackets the last
+        reading that caused a change (eq. 1-2), and therefore the most
+        recent reading always lies inside the entry."""
+        table = RangeTable(0, "t")
+        for reading in sequence:
+            table.observe_reading(reading, delta)
+            assert table.own_entry is not None
+            assert table.own_entry.min_threshold <= reading <= table.own_entry.max_threshold
+            # Entry width is 2 * delta around the reference reading (up to
+            # floating-point rounding of reading ± delta).
+            width = table.own_entry.max_threshold - table.own_entry.min_threshold
+            assert abs(width - 2 * delta) <= 1e-9 * max(1.0, abs(reading), delta)
+
+    @given(sequence=st.lists(readings, min_size=2, max_size=50), delta=deltas)
+    @settings(max_examples=100)
+    def test_entry_changes_only_when_reading_escapes_thresholds(self, sequence, delta):
+        table = RangeTable(0, "t")
+        table.observe_reading(sequence[0], delta)
+        for reading in sequence[1:]:
+            entry_before = table.own_entry.as_tuple
+            inside = table.own_entry.contains(reading)
+            changed = table.observe_reading(reading, delta)
+            assert changed != inside
+            if inside:
+                assert table.own_entry.as_tuple == entry_before
+
+
+class TestAggregateInvariants:
+    child_updates = st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=8),
+            st.tuples(readings, readings).map(lambda p: (min(p), max(p))),
+        ),
+        max_size=40,
+    )
+
+    @given(own=st.one_of(st.none(), readings), updates=child_updates, delta=deltas)
+    @settings(max_examples=200)
+    def test_aggregate_is_envelope_of_all_entries(self, own, updates, delta):
+        table = RangeTable(0, "t")
+        if own is not None:
+            table.observe_reading(own, delta)
+        for child, (lo, hi) in updates:
+            table.update_child(child, lo, hi)
+        aggregate = table.aggregate()
+        entries = list(table.entries())
+        if not entries:
+            assert aggregate is None
+            return
+        lows = [e.min_threshold for _, e in entries]
+        highs = [e.max_threshold for _, e in entries]
+        assert aggregate == (min(lows), max(highs))
+        # The envelope contains every stored entry.
+        for _, entry in entries:
+            assert aggregate[0] <= entry.min_threshold
+            assert aggregate[1] >= entry.max_threshold
+
+    @given(updates=child_updates, delta=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=200)
+    def test_update_trigger_fires_iff_aggregate_moved_beyond_delta(self, updates, delta):
+        """Fig. 3's trigger rule, checked against an independent reference."""
+        table = RangeTable(0, "t")
+        last_sent = None
+        for child, (lo, hi) in updates:
+            table.update_child(child, lo, hi)
+            pending = table.pending_update(delta)
+            current = table.aggregate()
+            if last_sent is None:
+                assert pending == current
+            else:
+                should_fire = (
+                    abs(current[0] - last_sent[0]) > delta
+                    or abs(current[1] - last_sent[1]) > delta
+                )
+                assert (pending is not None) == should_fire
+            if pending is not None:
+                table.mark_transmitted(pending)
+                last_sent = pending
+
+    @given(updates=child_updates)
+    @settings(max_examples=100)
+    def test_no_update_pending_immediately_after_transmission_with_positive_delta(
+        self, updates
+    ):
+        table = RangeTable(0, "t")
+        for child, (lo, hi) in updates:
+            table.update_child(child, lo, hi)
+        pending = table.pending_update(0.5)
+        if pending is not None:
+            table.mark_transmitted(pending)
+        assert table.pending_update(0.5) is None
