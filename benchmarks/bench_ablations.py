@@ -15,11 +15,12 @@ from repro.experiments import ablations
 from .conftest import emit
 
 
-def test_topology_adaptation(benchmark, bench_seed):
+def test_topology_adaptation(benchmark, bench_seed, bench_runner):
     """E7: node failures mid-run; routing recovers via cross-layer adaptation."""
     result = benchmark.pedantic(
         lambda: ablations.run_topology_ablation(
-            num_epochs=1_000, failure_epoch=400, seed=bench_seed
+            num_epochs=1_000, failure_epoch=400, seed=bench_seed,
+            runner=bench_runner,
         ),
         rounds=1,
         iterations=1,
@@ -30,11 +31,12 @@ def test_topology_adaptation(benchmark, bench_seed):
     assert result.completeness_after > result.completeness_before - 0.1
 
 
-def test_atc_target_sweep(benchmark, bench_seed):
+def test_atc_target_sweep(benchmark, bench_seed, bench_runner):
     """The achieved DirQ/flooding ratio follows the configured ATC target."""
     points = benchmark.pedantic(
         lambda: ablations.run_atc_target_sweep(
-            targets=(0.35, 0.5, 0.65), num_epochs=1_200, seed=bench_seed
+            targets=(0.35, 0.5, 0.65), num_epochs=1_200, seed=bench_seed,
+            runner=bench_runner,
         ),
         rounds=1,
         iterations=1,
@@ -48,11 +50,12 @@ def test_atc_target_sweep(benchmark, bench_seed):
     assert updates[0] < updates[2]
 
 
-def test_channel_loss_sensitivity(benchmark, bench_seed):
+def test_channel_loss_sensitivity(benchmark, bench_seed, bench_runner):
     """DirQ delivery quality degrades gracefully with packet loss."""
     points = benchmark.pedantic(
         lambda: ablations.run_loss_ablation(
-            loss_rates=(0.0, 0.1, 0.2), num_epochs=600, seed=bench_seed
+            loss_rates=(0.0, 0.1, 0.2), num_epochs=600, seed=bench_seed,
+            runner=bench_runner,
         ),
         rounds=1,
         iterations=1,

@@ -14,12 +14,13 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def headline_result(bench_epochs, bench_seed):
+def headline_result(bench_epochs, bench_seed, bench_runner):
     return headline.run(
         num_epochs=bench_epochs,
         target_coverage=0.4,
         seed=bench_seed,
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
+        runner=bench_runner,
     )
 
 

@@ -15,13 +15,14 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def fig5_result(bench_epochs, bench_seed):
+def fig5_result(bench_epochs, bench_seed, bench_runner):
     return fig5_accuracy.run(
         deltas=(1.0, 3.0, 5.0, 9.0),
         coverages=(0.4, 0.6),
         num_epochs=bench_epochs,
         seed=bench_seed,
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
+        runner=bench_runner,
     )
 
 

@@ -16,13 +16,14 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def fig6_result(bench_epochs, bench_seed):
+def fig6_result(bench_epochs, bench_seed, bench_runner):
     return fig6_updates.run(
         deltas=(3.0, 5.0, 9.0),
         num_epochs=bench_epochs,
         target_coverage=0.4,
         seed=bench_seed,
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
+        runner=bench_runner,
     )
 
 

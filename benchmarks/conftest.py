@@ -16,12 +16,23 @@ import os
 
 import pytest
 
+from repro.experiments.batch import BatchRunner
+
 #: Epoch budget used by the figure benchmarks.  Override with
 #: ``REPRO_BENCH_EPOCHS=20000`` for paper-length runs.
 BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "1200"))
 
 #: Seed shared by every benchmark run.
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+#: Worker processes for the figure sweeps (``BatchRunner``); defaults to
+#: the machine's CPU count.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", str(os.cpu_count() or 1)))
+
+#: Result cache directory; empty/unset disables caching so timings stay
+#: honest.  Set ``REPRO_BENCH_CACHE=.bench-cache`` to iterate on reports
+#: without re-simulating.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @pytest.fixture(scope="session")
@@ -32,6 +43,17 @@ def bench_epochs() -> int:
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> BatchRunner:
+    """The shared trial-parallel runner every figure sweep goes through.
+
+    ``cache_dir=""`` force-disables caching when ``REPRO_BENCH_CACHE`` is
+    unset, so a stray ``REPRO_CACHE_DIR`` in the environment cannot turn
+    benchmark timings into cache reads.
+    """
+    return BatchRunner(max_workers=BENCH_WORKERS, cache_dir=BENCH_CACHE or "")
 
 
 def emit(title: str, body: str) -> None:

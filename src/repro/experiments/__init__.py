@@ -1,5 +1,18 @@
-"""Experiment harness: configuration, runner, and per-figure reproductions."""
+"""Experiment harness: configuration, runners, and per-figure reproductions.
 
+Single trials run through :func:`run_experiment`; sweeps (the figure
+reproductions, ablations, and anything declared as a list of
+:class:`TrialSpec`) run trial-parallel through :class:`BatchRunner`.
+"""
+
+from .batch import (
+    BatchRunner,
+    BatchStats,
+    TrialResult,
+    TrialSpec,
+    config_hash,
+    run_sweep,
+)
 from .config import ExperimentConfig, ProtocolName, TopologyEvent, paper_defaults
 from .runner import ExperimentResult, ExperimentRunner, run_experiment
 from .scenarios import (
@@ -7,9 +20,16 @@ from .scenarios import (
     node_failure_scenario,
     paper_network,
     small_network,
+    smoke_sweep,
 )
 
 __all__ = [
+    "BatchRunner",
+    "BatchStats",
+    "TrialResult",
+    "TrialSpec",
+    "config_hash",
+    "run_sweep",
     "ExperimentConfig",
     "ProtocolName",
     "TopologyEvent",
@@ -21,4 +41,5 @@ __all__ = [
     "node_failure_scenario",
     "paper_network",
     "small_network",
+    "smoke_sweep",
 ]

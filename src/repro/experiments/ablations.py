@@ -16,12 +16,11 @@ individual mechanisms:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..metrics.accuracy import delivery_completeness, mean_overshoot
 from ..metrics.report import format_table
-from .config import ExperimentConfig, TopologyEvent
-from .runner import run_experiment
+from .batch import BatchRunner, TrialSpec, run_sweep
 from .scenarios import node_failure_scenario, paper_network
 
 
@@ -44,12 +43,36 @@ class TopologyAblationResult:
     queries_after: int
 
 
+def topology_ablation_specs(
+    num_epochs: int = 1_200,
+    failure_epoch: int = 400,
+    failures: Optional[List[int]] = None,
+    seed: int = 11,
+) -> List[TrialSpec]:
+    """The topology ablation as data (a single-trial sweep)."""
+    config = node_failure_scenario(
+        num_epochs=num_epochs,
+        failures=failures,
+        failure_epoch=failure_epoch,
+        seed=seed,
+    ).with_atc()
+    return [
+        TrialSpec(
+            label=f"topology-ablation failure@{failure_epoch}",
+            config=config,
+            group="ablation-topology",
+            tags={"failure_epoch": failure_epoch},
+        )
+    ]
+
+
 def run_topology_ablation(
     num_epochs: int = 1_200,
     failure_epoch: int = 400,
     failures: Optional[List[int]] = None,
     settle_epochs: int = 100,
     seed: int = 11,
+    runner: Optional[BatchRunner] = None,
 ) -> TopologyAblationResult:
     """Kill nodes mid-run and compare delivery quality before vs after.
 
@@ -57,14 +80,14 @@ def run_topology_ablation(
     detecting the deaths (its death threshold is a few beacon intervals), so
     "after" measures the repaired steady state.
     """
-    config = node_failure_scenario(
+    specs = topology_ablation_specs(
         num_epochs=num_epochs,
-        failures=failures,
         failure_epoch=failure_epoch,
+        failures=failures,
         seed=seed,
-    ).with_atc()
-    result = run_experiment(config)
-    failed = [e.node_id for e in config.topology_events]
+    )
+    (result,) = run_sweep(specs, runner)
+    failed = [e.node_id for e in result.config.topology_events]
     before = result.audit.records_between(0, failure_epoch - 1)
     after = result.audit.records_between(
         failure_epoch + settle_epochs, num_epochs
@@ -96,20 +119,40 @@ class LossPoint:
     cost_ratio: float
 
 
+def loss_ablation_specs(
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    num_epochs: int = 800,
+    seed: int = 5,
+) -> List[TrialSpec]:
+    """The channel-loss sweep as data: one trial per loss rate."""
+    base = paper_network(num_epochs=num_epochs, seed=seed).with_atc()
+    return [
+        TrialSpec(
+            label=f"loss={loss:g}",
+            config=base.replace(channel_loss=loss),
+            group="ablation-loss",
+            tags={"loss": loss},
+        )
+        for loss in loss_rates
+    ]
+
+
 def run_loss_ablation(
     loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
     num_epochs: int = 800,
     seed: int = 5,
+    runner: Optional[BatchRunner] = None,
 ) -> List[LossPoint]:
     """Evaluate DirQ (ATC) under increasing packet loss."""
-    base = paper_network(num_epochs=num_epochs, seed=seed).with_atc()
+    specs = loss_ablation_specs(
+        loss_rates=loss_rates, num_epochs=num_epochs, seed=seed
+    )
     points: List[LossPoint] = []
-    for loss in loss_rates:
-        result = run_experiment(base.replace(channel_loss=loss))
+    for result in run_sweep(specs, runner):
         records = result.audit.records
         points.append(
             LossPoint(
-                loss_probability=loss,
+                loss_probability=result.spec.tags["loss"],
                 completeness=delivery_completeness(records),
                 overshoot=mean_overshoot(records),
                 cost_ratio=result.cost_ratio,
@@ -133,20 +176,38 @@ class AtcTargetPoint:
     mean_updates_per_window: float
 
 
+def atc_target_specs(
+    targets: Sequence[float] = (0.35, 0.5, 0.65),
+    num_epochs: int = 1_500,
+    seed: int = 3,
+) -> List[TrialSpec]:
+    """The ATC target sweep as data: one trial per target cost ratio."""
+    base = paper_network(num_epochs=num_epochs, seed=seed)
+    return [
+        TrialSpec(
+            label=f"atc-target={target:g}",
+            config=base.with_atc(target_cost_ratio=target),
+            group="ablation-atc-target",
+            tags={"target": target},
+        )
+        for target in targets
+    ]
+
+
 def run_atc_target_sweep(
     targets: Sequence[float] = (0.35, 0.5, 0.65),
     num_epochs: int = 1_500,
     seed: int = 3,
+    runner: Optional[BatchRunner] = None,
 ) -> List[AtcTargetPoint]:
     """Sweep the ATC's cost-ratio target and record what it achieves."""
-    base = paper_network(num_epochs=num_epochs, seed=seed)
+    specs = atc_target_specs(targets=targets, num_epochs=num_epochs, seed=seed)
     points: List[AtcTargetPoint] = []
-    for target in targets:
-        result = run_experiment(base.with_atc(target_cost_ratio=target))
+    for result in run_sweep(specs, runner):
         updates = result.updates_per_window()
         points.append(
             AtcTargetPoint(
-                target_ratio=target,
+                target_ratio=result.spec.tags["target"],
                 achieved_ratio=result.cost_ratio,
                 overshoot=mean_overshoot(result.audit.records),
                 mean_updates_per_window=(

@@ -1,0 +1,509 @@
+"""Batched, parallel experiment orchestration.
+
+The figure reproductions are sweeps: one full simulation per (setting,
+coverage, seed, ...) point.  The serial runner executes one
+:class:`~repro.experiments.config.ExperimentConfig` at a time; this module
+adds the campaign layer on top of it:
+
+* :class:`TrialSpec` -- one declarative point of a sweep: a label, an
+  immutable snapshot of the experiment configuration, and free-form tags
+  (``{"delta": 3.0, "coverage": 0.4}``) the sweep assembles its figure from.
+* :class:`TrialResult` -- the picklable measurement record of one trial
+  (audit, aggregated ledger, cost breakdown, windowed series).  It mirrors
+  the summary API of :class:`~repro.experiments.runner.ExperimentResult`
+  but carries no live simulator objects, so it can cross process
+  boundaries and be cached on disk.
+* :class:`BatchRunner` -- fans a list of specs across worker processes via
+  :mod:`concurrent.futures`, deduplicates identical configurations, and
+  optionally caches results on disk keyed by :func:`config_hash`, so
+  re-running a sweep only executes the missing trials.
+
+Determinism: every trial builds its own :class:`~repro.simulation.rng.
+RandomStreams` from its config's seed, and the worker deep-copies the
+config before running, so a trial's result depends only on its declared
+configuration -- never on worker count, execution order, or leftover
+mutations from sibling trials.  :meth:`TrialResult.fingerprint` condenses
+the deterministic payload into a hash for bit-exactness assertions.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from ..energy.ledger import NetworkLedger
+from ..metrics.accuracy import mean_accuracy, mean_overshoot
+from ..metrics.audit import QueryAudit, QueryRecord
+from ..metrics.cost import CostBreakdown
+from ..metrics.series import WindowPoint
+from ..network.addresses import NodeId
+from ..simulation.rng import RandomStreams
+from .config import ExperimentConfig, ProtocolName
+from .runner import ExperimentResult, run_experiment
+
+#: Environment variable providing a default on-disk cache directory.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Bumped whenever the on-disk format or the simulation semantics change in
+#: a way that invalidates cached results.
+CACHE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Canonical config hashing
+# ---------------------------------------------------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """Reduce ``obj`` to a JSON-serialisable, order-stable structure."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_canonical(v) for v in obj), key=repr)
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return repr(obj)
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """Stable digest of a config: the cache key of the trial it describes.
+
+    Two configs hash equally iff every declared field (including the nested
+    DirQ configuration and scripted topology events) is equal, so the hash
+    identifies the simulation outcome under the deterministic runner.
+    """
+    payload = json.dumps(
+        _canonical(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+# ---------------------------------------------------------------------------
+# Trial specification and result
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class TrialSpec:
+    """One declarative point of a sweep.
+
+    The constructor snapshots (deep-copies) the configuration and computes
+    the cache key immediately, so later mutation of the caller's config --
+    or the runner filling in ``dirq.full_scale`` during the build -- cannot
+    change the trial's identity.
+    """
+
+    label: str
+    config: ExperimentConfig
+    group: str = ""
+    tags: Dict[str, object] = dataclasses.field(default_factory=dict)
+    key: str = dataclasses.field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        self.config = copy.deepcopy(self.config)
+        self.key = config_hash(self.config)
+
+    def replicates(self, count: int) -> List["TrialSpec"]:
+        """Derive ``count`` replications with independent seeds.
+
+        Seeds come from :meth:`RandomStreams.derive_seed`, so replication
+        ``i`` of a spec is reproducible from the spec alone.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [
+            TrialSpec(
+                label=f"{self.label} rep={i}",
+                config=self.config.replace(
+                    seed=RandomStreams.derive_seed(self.config.seed, f"rep-{i}")
+                ),
+                group=self.group,
+                tags={**self.tags, "replicate": i},
+            )
+            for i in range(count)
+        ]
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """Picklable measurements of one trial.
+
+    Mirrors the summary API of :class:`ExperimentResult` (overshoot,
+    accuracy, cost ratio, update series) without holding live simulator
+    objects, so it can cross process boundaries and live in the cache.
+    """
+
+    spec: TrialSpec
+    audit: QueryAudit
+    ledger: NetworkLedger
+    num_queries: int
+    flooding_cost_per_query: float
+    update_series: List[WindowPoint]
+    breakdown: CostBreakdown
+    per_query_costs: List[float]
+    atc_delta_history: Dict[int, List[float]]
+    alive_at_end: Set[NodeId]
+    num_nodes: int
+    runtime_seconds: float = 0.0
+    from_cache: bool = False
+
+    @classmethod
+    def from_experiment(
+        cls, spec: TrialSpec, result: ExperimentResult, runtime_seconds: float = 0.0
+    ) -> "TrialResult":
+        """Distil a live :class:`ExperimentResult` into a portable record."""
+        return cls(
+            spec=spec,
+            audit=result.audit,
+            ledger=result.ledger,
+            num_queries=result.num_queries,
+            flooding_cost_per_query=result.flooding_cost_per_query,
+            update_series=list(result.update_series),
+            breakdown=result.breakdown,
+            per_query_costs=list(result.per_query_costs),
+            atc_delta_history=dict(result.atc_delta_history),
+            alive_at_end=set(result.alive_at_end),
+            num_nodes=result.num_nodes,
+            runtime_seconds=runtime_seconds,
+        )
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self.spec.config
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        return self.audit.records
+
+    # -- headline summaries (same semantics as ExperimentResult) -------------
+
+    @property
+    def mean_overshoot_percent(self) -> float:
+        return mean_overshoot(self.audit.records)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return mean_accuracy(self.audit.records)
+
+    @property
+    def total_dirq_cost(self) -> float:
+        return self.breakdown.total_dirq_cost
+
+    @property
+    def total_flooding_cost(self) -> float:
+        if self.config.protocol == ProtocolName.FLOODING:
+            return self.breakdown.flood_cost
+        return self.flooding_cost_per_query * self.num_queries
+
+    @property
+    def cost_ratio(self) -> float:
+        flooding = self.total_flooding_cost
+        if flooding <= 0:
+            return float("inf")
+        return self.total_dirq_cost / flooding
+
+    def updates_per_window(self) -> List[float]:
+        return [p.value for p in self.update_series]
+
+    # -- determinism ---------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Digest of every deterministic measurement of this trial.
+
+        Two runs of the same spec must produce equal fingerprints no matter
+        how many workers executed the batch; runtime and cache provenance
+        are excluded.
+        """
+        payload = {
+            "key": self.spec.key,
+            "num_queries": self.num_queries,
+            "flooding_cost_per_query": self.flooding_cost_per_query,
+            "per_query_costs": self.per_query_costs,
+            "breakdown": _canonical(self.breakdown),
+            "series": [(p.window_start, p.value) for p in self.update_series],
+            "alive": sorted(self.alive_at_end),
+            "num_nodes": self.num_nodes,
+            "atc": {
+                str(nid): values
+                for nid, values in sorted(self.atc_delta_history.items())
+            },
+            "ledger": sorted(
+                (kind, count, cost)
+                for kind, (count, cost) in self.ledger.breakdown_by_kind().items()
+            ),
+            "records": [
+                (
+                    r.query_id,
+                    r.injection_epoch,
+                    r.population,
+                    sorted(r.sources),
+                    sorted(r.should_receive),
+                    sorted(r.received),
+                    sorted(r.source_claims),
+                )
+                for r in self.audit.records
+            ],
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _execute_trial(spec: TrialSpec) -> TrialResult:
+    """Worker entry point: run one trial on a private copy of its config.
+
+    The deep copy keeps the worker's mutations (the runner fills in
+    ``dirq.full_scale`` from the generated dataset) away from the spec's
+    snapshot, so serial and parallel execution see identical inputs.
+    """
+    config = copy.deepcopy(spec.config)
+    start = time.perf_counter()
+    result = run_experiment(config)
+    return TrialResult.from_experiment(
+        spec, result, runtime_seconds=time.perf_counter() - start
+    )
+
+
+# ---------------------------------------------------------------------------
+# The batch runner
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class BatchStats:
+    """Execution accounting for one :meth:`BatchRunner.run` call."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    deduplicated: int = 0
+    workers: int = 1
+    runtime_seconds: float = 0.0
+
+
+class BatchRunner:
+    """Runs sweeps of :class:`TrialSpec` across worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrent trials; defaults to the machine's CPU count.  ``1``
+        executes inline (no pool), which is also the fallback for
+        single-trial batches.
+    cache_dir:
+        Directory of the on-disk result cache.  ``None`` consults the
+        ``REPRO_CACHE_DIR`` environment variable; an empty string
+        force-disables caching (ignoring the environment).  Results are
+        stored as ``<config-hash>.pkl``; a re-run of a sweep only executes
+        trials missing from the cache.
+    executor:
+        ``"process"`` (default), ``"thread"``, or ``"serial"``.  Threads
+        exist for debugging (shared tracebacks); the simulator is pure
+        Python, so real speed-ups need processes.
+    """
+
+    EXECUTORS = ("process", "thread", "serial")
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        executor: str = "process",
+    ):
+        if executor not in self.EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {self.EXECUTORS}, got {executor!r}"
+            )
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_ENV_VAR) or None
+        self.max_workers = int(max_workers)
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.executor = executor
+        self.last_stats = BatchStats()
+
+    # -- cache ---------------------------------------------------------------
+
+    def _cache_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _cache_load(self, spec: TrialSpec) -> Optional[TrialResult]:
+        path = self._cache_path(spec.key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("version") != CACHE_VERSION:
+                return None
+            result = payload["result"]
+        except Exception:
+            return None  # corrupt entry: fall through to re-execution
+        result.from_cache = True
+        return result
+
+    def _cache_store(self, result: TrialResult) -> None:
+        path = self._cache_path(result.spec.key)
+        if path is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump({"version": CACHE_VERSION, "result": result}, fh)
+        os.replace(tmp, path)  # atomic against concurrent sweeps
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        specs: Iterable[TrialSpec],
+        progress: Optional[Callable[[TrialResult], None]] = None,
+    ) -> List[TrialResult]:
+        """Execute a sweep and return one result per spec, in input order.
+
+        Identical configurations (equal :attr:`TrialSpec.key`) are executed
+        once and share a result.  ``progress`` is invoked once per finished
+        trial (cache hits included).
+        """
+        spec_list = list(specs)
+        start = time.perf_counter()
+        stats = BatchStats(total=len(spec_list), workers=self.max_workers)
+        by_key: Dict[str, TrialResult] = {}
+        pending: List[TrialSpec] = []
+        seen: Set[str] = set()
+        for spec in spec_list:
+            if spec.key in seen:
+                stats.deduplicated += 1
+                continue
+            seen.add(spec.key)
+            cached = self._cache_load(spec)
+            if cached is not None:
+                stats.cached += 1
+                by_key[spec.key] = cached
+                if progress is not None:
+                    progress(cached)
+            else:
+                pending.append(spec)
+
+        for result in self._execute(pending, progress):
+            stats.executed += 1
+            by_key[result.spec.key] = result
+            self._cache_store(result)
+
+        stats.runtime_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        # A result produced (or cached) under one spec may be consumed by a
+        # twin with a different label/tags -- e.g. two sweeps whose configs
+        # hash equally.  Rebind each returned result to the spec that asked
+        # for it so tag-based assembly never reads a sibling's metadata.
+        out: List[TrialResult] = []
+        for spec in spec_list:
+            result = by_key[spec.key]
+            if result.spec is not spec:
+                result = dataclasses.replace(result, spec=spec)
+            out.append(result)
+        return out
+
+    def run_map(self, specs: Iterable[TrialSpec]) -> Dict[str, TrialResult]:
+        """Execute a sweep and return results keyed by spec label."""
+        spec_list = list(specs)
+        labels = [s.label for s in spec_list]
+        if len(set(labels)) != len(labels):
+            raise ValueError("run_map requires unique spec labels")
+        results = self.run(spec_list)
+        return dict(zip(labels, results))
+
+    def _execute(
+        self,
+        pending: Sequence[TrialSpec],
+        progress: Optional[Callable[[TrialResult], None]],
+    ) -> Iterable[TrialResult]:
+        if not pending:
+            return
+        workers = min(self.max_workers, len(pending))
+        if self.executor == "serial" or workers == 1:
+            for spec in pending:
+                try:
+                    result = _execute_trial(spec)
+                except Exception as error:
+                    raise RuntimeError(
+                        f"trial {spec.label!r} (key {spec.key}) failed"
+                    ) from error
+                if progress is not None:
+                    progress(result)
+                yield result
+            return
+        pool_cls = (
+            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            futures: Dict[Future, TrialSpec] = {
+                pool.submit(_execute_trial, spec): spec for spec in pending
+            }
+            try:
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                    for future in done:
+                        spec = futures.pop(future)
+                        error = future.exception()
+                        if error is not None:
+                            raise RuntimeError(
+                                f"trial {spec.label!r} (key {spec.key}) failed"
+                            ) from error
+                        result = future.result()
+                        if progress is not None:
+                            progress(result)
+                        yield result
+            finally:
+                for future in futures:
+                    future.cancel()
+
+
+def run_sweep(
+    specs: Iterable[TrialSpec],
+    runner: Optional[BatchRunner] = None,
+) -> List[TrialResult]:
+    """Convenience wrapper: run ``specs`` on ``runner`` (or a default one)."""
+    return (runner if runner is not None else BatchRunner()).run(specs)
+
+
+def run_sweep_map(
+    specs: Iterable[TrialSpec],
+    runner: Optional[BatchRunner] = None,
+) -> Dict[str, TrialResult]:
+    """Like :func:`run_sweep` but keyed by spec label (labels must be unique)."""
+    return (runner if runner is not None else BatchRunner()).run_map(specs)

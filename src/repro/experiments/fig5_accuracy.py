@@ -8,8 +8,10 @@ between the RECEIVE and SHOULD curves grows with δ (stale, padded range
 information routes queries to irrelevant subtrees), and the effect is less
 pronounced at higher coverage.
 
-``run()`` executes one simulation per (δ, coverage) combination and returns
-one :class:`~repro.metrics.accuracy.Fig5Point` per combination.
+``sweep_specs()`` declares one :class:`~repro.experiments.batch.TrialSpec`
+per (δ, coverage) combination; ``run()`` fans them across worker processes
+through a :class:`~repro.experiments.batch.BatchRunner` and returns one
+:class:`~repro.metrics.accuracy.Fig5Point` per combination.
 """
 
 from __future__ import annotations
@@ -19,8 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..metrics.accuracy import Fig5Point, delivery_completeness, fig5_percentages
 from ..metrics.report import format_table
+from .batch import BatchRunner, TrialSpec, run_sweep
 from .config import ExperimentConfig
-from .runner import run_experiment
 from .scenarios import paper_network
 
 #: Thresholds evaluated by default.  The paper sweeps 1-9 %; the highlighted
@@ -50,12 +52,31 @@ class Fig5Result:
         return sorted({p.target_coverage for p in self.points})
 
 
+def sweep_specs(
+    base: ExperimentConfig,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    coverages: Sequence[float] = DEFAULT_COVERAGES,
+) -> List[TrialSpec]:
+    """The Fig. 5 sweep as data: one trial per (δ, coverage) point."""
+    return [
+        TrialSpec(
+            label=f"fig5 delta={delta:g}% coverage={coverage:g}",
+            config=base.replace(target_coverage=coverage).with_fixed_delta(delta),
+            group="fig5",
+            tags={"delta": delta, "coverage": coverage},
+        )
+        for coverage in coverages
+        for delta in deltas
+    ]
+
+
 def run(
     deltas: Sequence[float] = DEFAULT_DELTAS,
     coverages: Sequence[float] = DEFAULT_COVERAGES,
     num_epochs: int = 2_000,
     seed: int = 1,
     base_config: Optional[ExperimentConfig] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Fig5Result:
     """Run the Fig. 5 sweep.
 
@@ -73,9 +94,10 @@ def run(
         the same topology and phenomena.
     base_config:
         Alternative starting configuration (defaults to the paper network).
+    runner:
+        Batch runner executing the sweep; a default (process-parallel,
+        cache per ``REPRO_CACHE_DIR``) one is created if omitted.
     """
-    points: List[Fig5Point] = []
-    completeness: Dict[tuple, float] = {}
     base = (
         base_config
         if base_config is not None
@@ -83,15 +105,17 @@ def run(
     )
     base = base.replace(num_epochs=num_epochs, seed=seed)
     num_nodes = base.num_nodes
-    for coverage in coverages:
-        for delta in deltas:
-            config = base.replace(target_coverage=coverage).with_fixed_delta(delta)
-            result = run_experiment(config)
-            records = result.audit.records
-            points.append(
-                fig5_percentages(records, num_nodes - 1, delta, coverage)
-            )
-            completeness[(delta, coverage)] = delivery_completeness(records)
+    specs = sweep_specs(base, deltas=deltas, coverages=coverages)
+    results = run_sweep(specs, runner)
+
+    points: List[Fig5Point] = []
+    completeness: Dict[tuple, float] = {}
+    for result in results:
+        delta = result.spec.tags["delta"]
+        coverage = result.spec.tags["coverage"]
+        records = result.audit.records
+        points.append(fig5_percentages(records, num_nodes - 1, delta, coverage))
+        completeness[(delta, coverage)] = delivery_completeness(records)
     return Fig5Result(
         points=points,
         completeness=completeness,

@@ -10,7 +10,9 @@ the budget, large ones far below, and the ATC series settles inside the
 0.45–0.55 band -- which is precisely where DirQ's total cost sits at 45-55 %
 of flooding.
 
-``run()`` executes one simulation per setting and returns a
+``sweep_specs()`` declares one :class:`~repro.experiments.batch.TrialSpec`
+per threshold setting; ``run()`` executes them through a
+:class:`~repro.experiments.batch.BatchRunner` and returns a
 :class:`~repro.metrics.series.SeriesSet` with the reference levels attached.
 """
 
@@ -23,8 +25,8 @@ from typing import Dict, List, Optional, Sequence
 from ..core.analytical import update_budget_per_hour
 from ..metrics.report import format_series, format_table
 from ..metrics.series import SeriesSet
+from .batch import BatchRunner, TrialResult, TrialSpec, run_sweep_map
 from .config import ExperimentConfig
-from .runner import ExperimentResult, run_experiment
 from .scenarios import paper_network
 
 DEFAULT_DELTAS: Sequence[float] = (3.0, 5.0, 9.0)
@@ -51,6 +53,30 @@ class Fig6Result:
         )
 
 
+def sweep_specs(
+    base: ExperimentConfig,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    include_atc: bool = True,
+) -> List[TrialSpec]:
+    """The Fig. 6 sweep as data: one trial per threshold setting."""
+    specs = [
+        TrialSpec(
+            label=f"delta={delta:g}%",
+            config=base.with_fixed_delta(delta),
+            group="fig6",
+            tags={"delta": delta},
+        )
+        for delta in deltas
+    ]
+    if include_atc:
+        specs.append(
+            TrialSpec(
+                label=ATC_LABEL, config=base.with_atc(), group="fig6", tags={}
+            )
+        )
+    return specs
+
+
 def run(
     deltas: Sequence[float] = DEFAULT_DELTAS,
     num_epochs: int = 3_000,
@@ -58,6 +84,7 @@ def run(
     seed: int = 1,
     include_atc: bool = True,
     base_config: Optional[ExperimentConfig] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Fig6Result:
     """Run the Fig. 6 sweep (one simulation per threshold setting)."""
     base = (
@@ -69,19 +96,15 @@ def run(
         num_epochs=num_epochs, seed=seed, target_coverage=target_coverage
     )
 
-    configs: Dict[str, ExperimentConfig] = {
-        f"delta={delta:g}%": base.with_fixed_delta(delta) for delta in deltas
-    }
-    if include_atc:
-        configs[ATC_LABEL] = base.with_atc()
+    specs = sweep_specs(base, deltas=deltas, include_atc=include_atc)
+    results = run_sweep_map(specs, runner)
 
     series = SeriesSet(window_epochs=base.window_epochs)
     cost_ratios: Dict[str, float] = {}
     mean_updates: Dict[str, float] = {}
     umax_per_window = 0.0
 
-    for label, config in configs.items():
-        result: ExperimentResult = run_experiment(config)
+    for label, result in results.items():
         series.add_series(label, result.update_series)
         cost_ratios[label] = result.cost_ratio
         values = result.updates_per_window()
@@ -101,7 +124,7 @@ def run(
     )
 
 
-def _umax_per_window(result: ExperimentResult, config: ExperimentConfig) -> float:
+def _umax_per_window(result: TrialResult, config: ExperimentConfig) -> float:
     """U_max expressed per metrics window (the Fig. 6 horizontal line).
 
     U_max/Hr is the number of update messages per hour at which DirQ's total

@@ -15,8 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..metrics.accuracy import mean_overshoot, overshoot_series
 from ..metrics.report import format_series, format_table
+from .batch import BatchRunner, TrialSpec, run_sweep_map
 from .config import ExperimentConfig
-from .runner import run_experiment
 from .scenarios import paper_network
 
 DEFAULT_DELTAS: Sequence[float] = (3.0, 5.0, 9.0)
@@ -37,6 +37,30 @@ class Fig7Result:
         return sorted(self.series)
 
 
+def sweep_specs(
+    base: ExperimentConfig,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    include_atc: bool = True,
+) -> List[TrialSpec]:
+    """The Fig. 7 sweep as data: one trial per threshold setting."""
+    specs = [
+        TrialSpec(
+            label=f"delta={delta:g}%",
+            config=base.with_fixed_delta(delta),
+            group="fig7",
+            tags={"delta": delta},
+        )
+        for delta in deltas
+    ]
+    if include_atc:
+        specs.append(
+            TrialSpec(
+                label=ATC_LABEL, config=base.with_atc(), group="fig7", tags={}
+            )
+        )
+    return specs
+
+
 def run(
     deltas: Sequence[float] = DEFAULT_DELTAS,
     num_epochs: int = 3_000,
@@ -45,6 +69,7 @@ def run(
     include_atc: bool = True,
     window_epochs: int = 400,
     base_config: Optional[ExperimentConfig] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Fig7Result:
     """Run the Fig. 7 sweep (one simulation per threshold setting).
 
@@ -61,17 +86,13 @@ def run(
         num_epochs=num_epochs, seed=seed, target_coverage=target_coverage
     )
 
-    configs: Dict[str, ExperimentConfig] = {
-        f"delta={delta:g}%": base.with_fixed_delta(delta) for delta in deltas
-    }
-    if include_atc:
-        configs[ATC_LABEL] = base.with_atc()
+    specs = sweep_specs(base, deltas=deltas, include_atc=include_atc)
+    results = run_sweep_map(specs, runner)
 
     series: Dict[str, List[Tuple[int, float]]] = {}
     averages: Dict[str, float] = {}
     ratios: Dict[str, float] = {}
-    for label, config in configs.items():
-        result = run_experiment(config)
+    for label, result in results.items():
         records = result.audit.records
         series[label] = overshoot_series(records, window_epochs, num_epochs)
         averages[label] = mean_overshoot(records)

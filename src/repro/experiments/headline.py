@@ -12,20 +12,25 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from typing import List
+
 from ..metrics.accuracy import delivery_completeness, mean_overshoot
 from ..metrics.cost import CostComparison, compare_costs
 from ..metrics.report import format_key_values
+from .batch import BatchRunner, TrialResult, TrialSpec, run_sweep_map
 from .config import ExperimentConfig
-from .runner import ExperimentResult, run_experiment
 from .scenarios import paper_network
+
+DIRQ_LABEL = "dirq-atc"
+FLOODING_LABEL = "flooding"
 
 
 @dataclasses.dataclass(frozen=True)
 class HeadlineResult:
     """DirQ-vs-flooding comparison on an identical workload."""
 
-    dirq: ExperimentResult
-    flooding: ExperimentResult
+    dirq: TrialResult
+    flooding: TrialResult
     comparison: CostComparison
     dirq_overshoot_pp: float
     dirq_completeness: float
@@ -35,11 +40,22 @@ class HeadlineResult:
         return self.comparison.ratio
 
 
+def sweep_specs(base: ExperimentConfig) -> List[TrialSpec]:
+    """The headline comparison as data: DirQ (ATC) vs flooding, same seed."""
+    return [
+        TrialSpec(label=DIRQ_LABEL, config=base.with_atc(), group="headline"),
+        TrialSpec(
+            label=FLOODING_LABEL, config=base.with_flooding(), group="headline"
+        ),
+    ]
+
+
 def run(
     num_epochs: int = 3_000,
     target_coverage: float = 0.4,
     seed: int = 1,
     base_config: Optional[ExperimentConfig] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> HeadlineResult:
     """Run DirQ (ATC) and flooding on the same workload and compare costs."""
     base = (
@@ -50,8 +66,9 @@ def run(
     base = base.replace(
         num_epochs=num_epochs, seed=seed, target_coverage=target_coverage
     )
-    dirq_result = run_experiment(base.with_atc())
-    flooding_result = run_experiment(base.with_flooding())
+    results = run_sweep_map(sweep_specs(base), runner)
+    dirq_result = results[DIRQ_LABEL]
+    flooding_result = results[FLOODING_LABEL]
     comparison = compare_costs(
         dirq_ledger=dirq_result.ledger,
         flooding_reference=flooding_result.breakdown.flood_cost,

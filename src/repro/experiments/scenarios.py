@@ -11,6 +11,7 @@ from typing import List, Optional
 
 from ..core.config import DirQConfig
 from ..network.addresses import NodeId
+from .batch import TrialSpec
 from .config import ExperimentConfig, TopologyEvent
 
 
@@ -76,6 +77,41 @@ def node_failure_scenario(
         if nid != cfg.root_id
     ]
     return cfg.replace(topology_events=events)
+
+
+def smoke_sweep(
+    num_nodes: int = 12,
+    num_epochs: int = 120,
+    seed: int = 3,
+) -> List[TrialSpec]:
+    """A small mixed sweep exercising every protocol mode.
+
+    Used by the CI smoke run (``python -m repro.experiments.smoke``) and by
+    tests that need a representative multi-trial batch that finishes in
+    seconds: two fixed thresholds, the ATC, and the flooding baseline over
+    the same miniature network.
+    """
+    base = small_network(
+        num_nodes=num_nodes, num_epochs=num_epochs, seed=seed
+    )
+    specs = [
+        TrialSpec(
+            label=f"smoke delta={delta:g}%",
+            config=base.with_fixed_delta(delta),
+            group="smoke",
+            tags={"delta": delta},
+        )
+        for delta in (3.0, 9.0)
+    ]
+    specs.append(
+        TrialSpec(label="smoke atc", config=base.with_atc(), group="smoke")
+    )
+    specs.append(
+        TrialSpec(
+            label="smoke flooding", config=base.with_flooding(), group="smoke"
+        )
+    )
+    return specs
 
 
 def heterogeneous_scenario(

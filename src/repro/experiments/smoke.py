@@ -1,0 +1,77 @@
+"""Command-line smoke sweep for the batched experiment runner.
+
+``python -m repro.experiments.smoke --workers 2`` runs the miniature mixed
+sweep of :func:`~repro.experiments.scenarios.smoke_sweep` through a
+:class:`~repro.experiments.batch.BatchRunner` and prints the execution
+summary.  With ``--cache-dir`` the sweep runs twice and the process exits
+non-zero unless the second pass is served entirely from the cache with
+bit-identical results -- the invariant CI guards on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..metrics.report import format_batch_summary
+from .batch import BatchRunner
+from .scenarios import smoke_sweep
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the BatchRunner smoke sweep."
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default: 2)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory; enables the cached re-run check",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=12, help="network size (default: 12)"
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=120, help="epochs per trial (default: 120)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="master seed (default: 3)"
+    )
+    args = parser.parse_args(argv)
+
+    specs = smoke_sweep(
+        num_nodes=args.nodes, num_epochs=args.epochs, seed=args.seed
+    )
+    runner = BatchRunner(max_workers=args.workers, cache_dir=args.cache_dir)
+    results = runner.run(specs)
+    print(format_batch_summary(runner.last_stats, results))
+
+    if runner.last_stats.executed + runner.last_stats.cached != len(specs):
+        print("FAIL: not every trial produced a result", file=sys.stderr)
+        return 1
+
+    if args.cache_dir:
+        rerun = BatchRunner(max_workers=args.workers, cache_dir=args.cache_dir)
+        cached_results = rerun.run(specs)
+        print(format_batch_summary(rerun.last_stats, cached_results))
+        if rerun.last_stats.executed != 0:
+            print(
+                f"FAIL: cached re-run executed {rerun.last_stats.executed} "
+                "trials (expected 0)",
+                file=sys.stderr,
+            )
+            return 1
+        fresh = [r.fingerprint() for r in results]
+        cached = [r.fingerprint() for r in cached_results]
+        if fresh != cached:
+            print("FAIL: cached results differ from fresh run", file=sys.stderr)
+            return 1
+        print("cache check passed: 0 trials re-executed, results bit-identical")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

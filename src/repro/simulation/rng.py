@@ -73,9 +73,23 @@ class RandomStreams:
             self._cache[name] = np.random.default_rng(seq)
         return self._cache[name]
 
+    @classmethod
+    def derive_seed(cls, seed: int, name: str) -> int:
+        """Derive a new master seed from ``(seed, name)``, deterministically.
+
+        This is how the batch layer assigns independent seeds to sweep
+        replications: each :class:`~repro.experiments.batch.TrialSpec`
+        replicate gets ``derive_seed(base_seed, f"rep-{i}")``, so a trial's
+        randomness is a pure function of its declared config -- independent
+        of worker count and execution order.
+        """
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an integer, got {type(seed).__name__}")
+        return int(seed) ^ _stable_stream_key(name)
+
     def spawn(self, name: str) -> "RandomStreams":
         """Derive a child factory (e.g. one per replication of a sweep)."""
-        return RandomStreams(self._seed ^ _stable_stream_key(name))
+        return RandomStreams(self.derive_seed(self._seed, name))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomStreams(seed={self._seed}, streams={sorted(self._cache)})"

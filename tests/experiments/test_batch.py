@@ -1,0 +1,272 @@
+"""Tests for the batched, parallel experiment orchestrator.
+
+The two properties the batch layer must guarantee:
+
+* **Determinism regardless of worker count** -- the same specs produce
+  bit-identical :class:`TrialResult`s whether executed inline, by one
+  worker, or fanned across four processes.
+* **Cache short-circuiting** -- a re-run of a sweep against a populated
+  cache executes zero new trials and returns identical results.
+"""
+
+import pytest
+
+from repro.experiments import fig5_accuracy
+from repro.experiments.batch import (
+    BatchRunner,
+    TrialResult,
+    TrialSpec,
+    config_hash,
+    run_sweep,
+)
+from repro.experiments.config import ExperimentConfig, TopologyEvent
+from repro.experiments.scenarios import small_network, smoke_sweep
+from repro.metrics.report import format_batch_summary
+from repro.simulation.rng import RandomStreams
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    """Keep a developer's REPRO_CACHE_DIR from leaking into executed counts."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+def tiny_config(seed: int = 3, **changes) -> ExperimentConfig:
+    cfg = ExperimentConfig(
+        num_nodes=12,
+        comm_range=45.0,
+        num_epochs=120,
+        query_period=20,
+        target_coverage=0.4,
+        query_sensor_type="temperature",
+        seed=seed,
+    )
+    return cfg.replace(**changes) if changes else cfg
+
+
+def tiny_specs():
+    return [
+        TrialSpec(
+            label=f"delta={delta:g}",
+            config=tiny_config().with_fixed_delta(delta),
+            group="test",
+            tags={"delta": delta},
+        )
+        for delta in (3.0, 5.0, 9.0)
+    ]
+
+
+class TestConfigHash:
+    def test_equal_configs_hash_equal(self):
+        assert config_hash(tiny_config()) == config_hash(tiny_config())
+
+    def test_every_declared_field_matters(self):
+        base = config_hash(tiny_config())
+        assert config_hash(tiny_config(seed=99)) != base
+        assert config_hash(tiny_config(num_epochs=121)) != base
+        assert config_hash(tiny_config().with_fixed_delta(7.0)) != base
+        assert config_hash(tiny_config().with_flooding()) != base
+
+    def test_initially_dead_set_order_is_canonical(self):
+        a = tiny_config(initially_dead={3, 5, 7})
+        b = tiny_config(initially_dead={7, 3, 5})
+        assert config_hash(a) == config_hash(b)
+
+
+class TestTrialSpec:
+    def test_snapshots_config_at_creation(self):
+        cfg = tiny_config().with_fixed_delta(5.0)
+        spec = TrialSpec(label="t", config=cfg)
+        key = spec.key
+        # Mutating the caller's config afterwards must not change identity.
+        cfg.dirq.full_scale["temperature"] = 123.0
+        cfg.num_epochs = 999
+        assert spec.config is not cfg
+        assert spec.config.num_epochs == 120
+        assert spec.key == key == config_hash(spec.config)
+
+    def test_replicates_derive_independent_reproducible_seeds(self):
+        spec = TrialSpec(label="base", config=tiny_config())
+        reps = spec.replicates(3)
+        seeds = [r.config.seed for r in reps]
+        assert len(set(seeds)) == 3
+        assert seeds == [
+            RandomStreams.derive_seed(3, f"rep-{i}") for i in range(3)
+        ]
+        # Re-deriving produces the same specs (same keys).
+        assert [r.key for r in spec.replicates(3)] == [r.key for r in reps]
+        with pytest.raises(ValueError):
+            spec.replicates(0)
+
+
+class TestBatchRunnerDeterminism:
+    def test_serial_and_parallel_results_are_bit_identical(self):
+        specs = tiny_specs()
+        serial = BatchRunner(max_workers=1).run(specs)
+        parallel = BatchRunner(max_workers=4, executor="process").run(specs)
+        assert [r.fingerprint() for r in serial] == [
+            r.fingerprint() for r in parallel
+        ]
+        # And the distilled record matches what the serial runner measured.
+        for a, b in zip(serial, parallel):
+            assert a.num_queries == b.num_queries
+            assert a.per_query_costs == b.per_query_costs
+            assert a.total_dirq_cost == b.total_dirq_cost
+            assert [r.received for r in a.records] == [
+                r.received for r in b.records
+            ]
+
+    def test_results_returned_in_input_order(self):
+        specs = tiny_specs()
+        results = BatchRunner(max_workers=4).run(specs)
+        assert [r.spec.label for r in results] == [s.label for s in specs]
+
+    def test_duplicate_specs_execute_once_and_share_results(self):
+        spec = tiny_specs()[0]
+        twin = TrialSpec(label="twin", config=spec.config, group="test")
+        runner = BatchRunner(max_workers=1)
+        results = runner.run([spec, twin])
+        assert runner.last_stats.executed == 1
+        assert runner.last_stats.deduplicated == 1
+        assert results[0].fingerprint() == results[1].fingerprint()
+        # Each returned result is bound to the spec that requested it.
+        assert results[0].spec.label == spec.label
+        assert results[1].spec.label == "twin"
+
+    def test_trial_result_mirrors_experiment_result_summaries(self):
+        (result,) = run_sweep([tiny_specs()[0]], BatchRunner(max_workers=1))
+        assert isinstance(result, TrialResult)
+        assert result.num_queries == len(result.records) > 0
+        assert result.total_dirq_cost > 0
+        assert result.cost_ratio > 0
+        assert len(result.updates_per_window()) == 1  # 120 epochs, 100 window
+        assert result.mean_accuracy > 0
+
+    def test_worker_failure_is_reported_with_trial_label(self):
+        # Killing the root passes config validation but raises at run time.
+        bad = TrialSpec(
+            label="kills-the-root",
+            config=tiny_config(
+                num_epochs=50,
+                topology_events=[
+                    TopologyEvent(epoch=10, kind=TopologyEvent.KILL, node_id=0)
+                ],
+            ).with_fixed_delta(5.0),
+        )
+        with pytest.raises(RuntimeError, match="kills-the-root"):
+            BatchRunner(max_workers=2, executor="process").run([bad])
+
+
+class TestBatchRunnerCache:
+    def test_cache_short_circuits_already_run_trials(self, tmp_path):
+        specs = tiny_specs()
+        first = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        fresh = first.run(specs)
+        assert first.last_stats.executed == len(specs)
+        assert first.last_stats.cached == 0
+
+        second = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        cached = second.run(specs)
+        assert second.last_stats.executed == 0
+        assert second.last_stats.cached == len(specs)
+        assert all(r.from_cache for r in cached)
+        assert [r.fingerprint() for r in fresh] == [
+            r.fingerprint() for r in cached
+        ]
+
+    def test_partial_cache_executes_only_missing_trials(self, tmp_path):
+        specs = tiny_specs()
+        BatchRunner(max_workers=1, cache_dir=tmp_path).run(specs[:2])
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run(specs)
+        assert runner.last_stats.cached == 2
+        assert runner.last_stats.executed == 1
+
+    def test_corrupt_cache_entry_falls_back_to_execution(self, tmp_path):
+        spec = tiny_specs()[0]
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run([spec])
+        (tmp_path / f"{spec.key}.pkl").write_bytes(b"not a pickle")
+        rerun = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        rerun.run([spec])
+        assert rerun.last_stats.executed == 1
+
+    def test_cache_hit_rebinds_result_to_requesting_sweeps_spec(self, tmp_path):
+        """A result cached by one sweep must not leak its tags into another.
+
+        ``with_atc()`` and ``with_atc(target_cost_ratio=0.5)`` hash equally
+        (0.5 is the default), so the loss ablation at loss 0 and the ATC
+        target sweep at 0.5 share a cache entry; the consuming sweep must
+        still see its own spec tags.
+        """
+        from repro.experiments import ablations
+
+        first = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        ablations.run_loss_ablation(
+            loss_rates=(0.0,), num_epochs=200, seed=3, runner=first
+        )
+        assert first.last_stats.executed == 1
+
+        second = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        points = ablations.run_atc_target_sweep(
+            targets=(0.5,), num_epochs=200, seed=3, runner=second
+        )
+        assert second.last_stats.cached == 1
+        assert second.last_stats.executed == 0
+        assert points[0].target_ratio == 0.5
+
+    def test_fig5_sweep_cached_rerun_executes_zero_trials(self, tmp_path):
+        base = small_network(num_nodes=12, num_epochs=120)
+        kwargs = dict(
+            deltas=(3.0, 9.0),
+            coverages=(0.4,),
+            num_epochs=120,
+            base_config=base,
+        )
+        first = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        result_a = fig5_accuracy.run(runner=first, **kwargs)
+        assert first.last_stats.executed == 2
+
+        second = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        result_b = fig5_accuracy.run(runner=second, **kwargs)
+        assert second.last_stats.executed == 0
+        assert second.last_stats.cached == 2
+        assert result_a.points == result_b.points
+        assert result_a.completeness == result_b.completeness
+
+
+class TestBatchRunnerApi:
+    def test_run_map_keys_by_label_and_rejects_duplicates(self):
+        specs = smoke_sweep(num_nodes=10, num_epochs=60)
+        results = BatchRunner(max_workers=2).run_map(specs)
+        assert set(results) == {s.label for s in specs}
+        dup = [specs[0], TrialSpec(label=specs[0].label, config=tiny_config())]
+        with pytest.raises(ValueError):
+            BatchRunner(max_workers=1).run_map(dup)
+
+    def test_progress_callback_sees_every_trial(self, tmp_path):
+        specs = tiny_specs()
+        seen = []
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run(specs, progress=seen.append)
+        assert len(seen) == len(specs)
+        # Cache hits report progress too.
+        seen.clear()
+        BatchRunner(max_workers=1, cache_dir=tmp_path).run(
+            specs, progress=seen.append
+        )
+        assert len(seen) == len(specs)
+
+    def test_invalid_arguments_are_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(executor="gpu")
+        with pytest.raises(ValueError):
+            BatchRunner(max_workers=0)
+
+    def test_format_batch_summary_renders_stats_and_rows(self):
+        runner = BatchRunner(max_workers=1)
+        results = runner.run(tiny_specs()[:2])
+        text = format_batch_summary(runner.last_stats, results)
+        assert "2 trials" in text
+        assert "delta=3" in text and "delta=5" in text
+        assert "cost ratio" in text
