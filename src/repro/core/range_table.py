@@ -76,6 +76,15 @@ class RangeTable:
         self.last_transmitted: Optional[Tuple[float, float]] = None
         #: Reference reading R_Aq from which the own entry was derived.
         self.reference_reading: Optional[float] = None
+        #: Cached result of :meth:`aggregate`; the update trigger runs every
+        #: epoch for every sensor type, while entries change only rarely, so
+        #: the min/max scan is memoised and invalidated on mutation.
+        self._aggregate_cache: Optional[Tuple[float, float]] = None
+        self._aggregate_dirty = True
+        #: Mutation counter backing the negative-result memo of
+        #: :meth:`pending_update` (see there).
+        self._version = 0
+        self._no_update_memo: Optional[Tuple[int, float]] = None
 
     # -- own entry maintenance (equations (1)–(2)) ------------------------------------
 
@@ -100,6 +109,7 @@ class RangeTable:
             return False
         self.reference_reading = float(reading)
         self.own_entry = RangeEntry(reading - delta, reading + delta)
+        self._touch()
         return True
 
     def clear_own_entry(self) -> bool:
@@ -107,6 +117,7 @@ class RangeTable:
         changed = self.own_entry is not None
         self.own_entry = None
         self.reference_reading = None
+        self._touch()
         return changed
 
     # -- child entries -------------------------------------------------------------------
@@ -123,11 +134,15 @@ class RangeTable:
         if old is not None and old.as_tuple == new_entry.as_tuple:
             return False
         self._children[child] = new_entry
+        self._touch()
         return True
 
     def remove_child(self, child: NodeId) -> bool:
         """Drop a child's entry (child died or withdrew the sensor type)."""
-        return self._children.pop(child, None) is not None
+        removed = self._children.pop(child, None) is not None
+        if removed:
+            self._touch()
+        return removed
 
     def child_entry(self, child: NodeId) -> Optional[RangeEntry]:
         return self._children.get(child)
@@ -161,18 +176,40 @@ class RangeTable:
         return self.own_entry is None and not self._children
 
     def aggregate(self) -> Optional[Tuple[float, float]]:
-        """``(min(TH_min), max(TH_max))`` over all entries, or ``None`` if empty."""
-        if self.is_empty:
-            return None
-        mins = []
-        maxs = []
-        if self.own_entry is not None:
-            mins.append(self.own_entry.min_threshold)
-            maxs.append(self.own_entry.max_threshold)
-        for entry in self._children.values():
-            mins.append(entry.min_threshold)
-            maxs.append(entry.max_threshold)
-        return (min(mins), max(maxs))
+        """``(min(TH_min), max(TH_max))`` over all entries, or ``None`` if empty.
+
+        The value is cached between mutations: the experiment hot loop calls
+        this once per (node, sensor type, epoch) while readings only rarely
+        move an entry, so most calls are a dirty-flag check.
+        """
+        if not self._aggregate_dirty:
+            return self._aggregate_cache
+        own = self.own_entry
+        if own is None and not self._children:
+            result = None
+        else:
+            if own is not None:
+                lo = own.min_threshold
+                hi = own.max_threshold
+                for entry in self._children.values():
+                    if entry.min_threshold < lo:
+                        lo = entry.min_threshold
+                    if entry.max_threshold > hi:
+                        hi = entry.max_threshold
+            else:
+                entries = iter(self._children.values())
+                first = next(entries)
+                lo = first.min_threshold
+                hi = first.max_threshold
+                for entry in entries:
+                    if entry.min_threshold < lo:
+                        lo = entry.min_threshold
+                    if entry.max_threshold > hi:
+                        hi = entry.max_threshold
+            result = (lo, hi)
+        self._aggregate_cache = result
+        self._aggregate_dirty = False
+        return result
 
     def pending_update(self, delta: float) -> Optional[Tuple[float, float]]:
         """Aggregate to advertise if an Update Message is currently warranted.
@@ -181,22 +218,37 @@ class RangeTable:
         ever been transmitted, or when the current aggregate's minimum or
         maximum differs from the previously transmitted one by more than δ.
         Returns the aggregate to transmit, or ``None`` if no update is due.
+
+        A "no update due" outcome is memoised against the table's mutation
+        counter and the δ it was evaluated for: the trigger runs every epoch
+        but the table mutates only when a reading escapes its range, so most
+        evaluations short-circuit here.
         """
         if delta < 0:
             raise ValueError("delta must be non-negative")
+        memo = self._no_update_memo
+        if memo is not None and memo[0] == self._version and memo[1] == delta:
+            return None
         current = self.aggregate()
         if current is None:
             return None
-        if self.last_transmitted is None:
+        last = self.last_transmitted
+        if last is None:
             return current
-        prev_min, prev_max = self.last_transmitted
-        if abs(current[0] - prev_min) > delta or abs(current[1] - prev_max) > delta:
+        if abs(current[0] - last[0]) > delta or abs(current[1] - last[1]) > delta:
             return current
+        self._no_update_memo = (self._version, delta)
         return None
 
     def mark_transmitted(self, aggregate: Tuple[float, float]) -> None:
         """Record that ``aggregate`` has been sent upstream."""
         self.last_transmitted = (float(aggregate[0]), float(aggregate[1]))
+        self._version += 1
+
+    def _touch(self) -> None:
+        """Invalidate derived caches after an entry mutation."""
+        self._aggregate_dirty = True
+        self._version += 1
 
     def routing_entry_for(self, child: NodeId) -> Optional[RangeEntry]:
         """Entry used to decide whether to forward a query to ``child``."""
@@ -215,12 +267,17 @@ class RangeTableSet:
     def __init__(self, owner: NodeId):
         self.owner = owner
         self._tables: Dict[str, RangeTable] = {}
+        #: Bumped whenever a table is created or dropped, so protocol layers
+        #: can cache table references and detect staleness with one compare.
+        self.version = 0
 
     def table(self, sensor_type: str, create: bool = False) -> Optional[RangeTable]:
         """Table for ``sensor_type``; optionally create it if missing."""
-        if sensor_type not in self._tables and create:
-            self._tables[sensor_type] = RangeTable(self.owner, sensor_type)
-        return self._tables.get(sensor_type)
+        tbl = self._tables.get(sensor_type)
+        if tbl is None and create:
+            tbl = self._tables[sensor_type] = RangeTable(self.owner, sensor_type)
+            self.version += 1
+        return tbl
 
     def __contains__(self, sensor_type: str) -> bool:
         return sensor_type in self._tables
@@ -239,7 +296,10 @@ class RangeTableSet:
 
     def drop(self, sensor_type: str) -> bool:
         """Remove a table entirely (its sensor type left the subtree)."""
-        return self._tables.pop(sensor_type, None) is not None
+        dropped = self._tables.pop(sensor_type, None) is not None
+        if dropped:
+            self.version += 1
+        return dropped
 
     def remove_child_everywhere(self, child: NodeId) -> List[str]:
         """Drop ``child``'s entries from every table.

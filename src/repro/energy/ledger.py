@@ -36,11 +36,15 @@ class NodeLedger:
 
     def charge_tx(self, kind: str, cost: float) -> None:
         """Record one transmission of a message of the given kind."""
-        self._entries[("tx", kind)].add(cost)
+        entry = self._entries[("tx", kind)]
+        entry.count += 1
+        entry.cost += cost
 
     def charge_rx(self, kind: str, cost: float) -> None:
         """Record one reception of a message of the given kind."""
-        self._entries[("rx", kind)].add(cost)
+        entry = self._entries[("rx", kind)]
+        entry.count += 1
+        entry.cost += cost
 
     # -- queries -----------------------------------------------------------
 
@@ -84,9 +88,10 @@ class NetworkLedger:
 
     def node(self, node_id: int) -> NodeLedger:
         """Ledger for ``node_id``, created on first access."""
-        if node_id not in self._nodes:
-            self._nodes[node_id] = NodeLedger(node_id)
-        return self._nodes[node_id]
+        ledger = self._nodes.get(node_id)
+        if ledger is None:
+            ledger = self._nodes[node_id] = NodeLedger(node_id)
+        return ledger
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._nodes

@@ -59,8 +59,10 @@ from .runner import ExperimentResult, run_experiment
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
 #: Bumped whenever the on-disk format or the simulation semantics change in
-#: a way that invalidates cached results.
-CACHE_VERSION = 1
+#: a way that invalidates cached results.  v2: reception energy is charged
+#: at delivery time (refund-on-drop fix), which changes ledger totals for
+#: runs where nodes die with frames in flight.
+CACHE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------

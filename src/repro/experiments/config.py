@@ -86,7 +86,8 @@ class ExperimentConfig:
     epochs_per_day:
         Length of the diurnal cycle in the synthetic phenomena.
     channel_loss:
-        Per-reception loss probability (0 = the paper's ideal channel).
+        Per-reception loss probability (0 = the paper's ideal channel;
+        1 = the "all receptions fail" ablation).
     mac_beacon_interval, mac_death_threshold, slots_per_frame:
         LMAC parameters.
     topology_events:
@@ -141,8 +142,8 @@ class ExperimentConfig:
             )
         if self.window_epochs < 1:
             raise ValueError("window_epochs must be >= 1")
-        if not (0.0 <= self.channel_loss < 1.0):
-            raise ValueError("channel_loss must be in [0, 1)")
+        if not (0.0 <= self.channel_loss <= 1.0):
+            raise ValueError("channel_loss must be in [0, 1]")
         if self.root_id in self.initially_dead:
             raise ValueError("the root cannot start dead")
 

@@ -417,32 +417,50 @@ class ExperimentRunner:
         atc_history: Dict[int, List[float]] = {}
         num_queries = 0
 
+        # Hot-loop caches.  The alive set only changes on scripted topology
+        # events, so the sorted protocol list is rebuilt there instead of
+        # re-sorting (and re-indexing the protocol dict) every epoch.  The
+        # boundary drains go through Simulator.run_until, whose cached head
+        # time makes the no-pending-events case O(1) -- the common case for
+        # epochs without protocol traffic.
+        run_until = sim.run_until
+        alive_protocols = [
+            world.protocols[nid] for nid in sorted(world.alive)
+        ]
+        epochs_per_hour = cfg.dirq.epochs_per_hour
+        window_epochs = cfg.window_epochs
+
         for epoch in range(cfg.num_epochs):
-            sim.run_until(float(epoch))
+            run_until(float(epoch))
 
             # Scripted topology dynamics.
-            for event in events_by_epoch.get(epoch, []):
-                if event.kind == TopologyEvent.KILL:
-                    self._apply_kill(world, event.node_id)
-                else:
-                    self._apply_activation(world, event.node_id)
-                generator.set_tree(world.tree)
-                generator.set_alive(world.alive)
-                if is_dirq:
-                    root.set_network_size(len(world.alive))
-                    flooding_per_query = flooding_cost_general(
-                        len(world.alive), world.channel.num_links
-                    )
-                    root.set_flooding_cost(flooding_per_query)
+            events_now = events_by_epoch.get(epoch)
+            if events_now:
+                for event in events_now:
+                    if event.kind == TopologyEvent.KILL:
+                        self._apply_kill(world, event.node_id)
+                    else:
+                        self._apply_activation(world, event.node_id)
+                    generator.set_tree(world.tree)
+                    generator.set_alive(world.alive)
+                    if is_dirq:
+                        root.set_network_size(len(world.alive))
+                        flooding_per_query = flooding_cost_general(
+                            len(world.alive), world.channel.num_links
+                        )
+                        root.set_flooding_cost(flooding_per_query)
+                alive_protocols = [
+                    world.protocols[nid] for nid in sorted(world.alive)
+                ]
 
             # Hourly EHr estimate (DirQ only).
-            if is_dirq and epoch % cfg.dirq.epochs_per_hour == 0:
+            if is_dirq and epoch % epochs_per_hour == 0:
                 root.start_new_hour(epoch)
 
             # Per-epoch sensing and range maintenance.
-            for nid in sorted(world.alive):
-                world.protocols[nid].on_epoch(epoch)
-            sim.run_until(epoch + 0.5)
+            for proto in alive_protocols:
+                proto.on_epoch(epoch)
+            run_until(epoch + 0.5)
 
             # Query injections scheduled for this epoch.
             for _ in range(injections.get(epoch, 0)):
@@ -468,7 +486,7 @@ class ExperimentRunner:
                 cost_kind = QUERY_KIND if is_dirq else "flood"
                 before = world.ledger.total_cost([cost_kind])
                 root.inject_query(query)
-                sim.run_until(epoch + 0.95)
+                run_until(epoch + 0.95)
                 after = world.ledger.total_cost([cost_kind])
                 per_query_costs.append(after - before)
                 if is_dirq:
@@ -476,21 +494,20 @@ class ExperimentRunner:
                 num_queries += 1
 
             # ATC telemetry (sampled once per window).
-            if is_dirq and (epoch + 1) % cfg.window_epochs == 0:
-                for nid in sorted(world.alive):
-                    proto = world.protocols[nid]
+            if is_dirq and (epoch + 1) % window_epochs == 0:
+                for proto in alive_protocols:
                     if getattr(proto, "atc", None) is not None:
                         stype = (
                             cfg.query_sensor_type
                             or world.dataset.sensor_types[0]
                         )
-                        atc_history.setdefault(nid, []).append(
+                        atc_history.setdefault(proto.node_id, []).append(
                             proto.atc.delta_percent(stype)
                         )
 
             # Fig. 6 window bookkeeping.
-            if (epoch + 1) % cfg.window_epochs == 0:
-                recorder.on_window_end(epoch + 1 - cfg.window_epochs)
+            if (epoch + 1) % window_epochs == 0:
+                recorder.on_window_end(epoch + 1 - window_epochs)
 
         sim.run_until(float(cfg.num_epochs))
 

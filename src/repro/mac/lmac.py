@@ -107,6 +107,11 @@ class LMACProtocol(SimProcess):
         self._last_sequence_seen: dict[NodeId, int] = {}
         self._beacons_since_heard: dict[NodeId, int] = {}
         self._mac_access_delay = 1e-4
+        # Per-kind transmit labels, built once: send() runs for every frame
+        # of a 20 000-epoch trial, so the label f-string is hoisted out.
+        self._tx_labels: dict[str, str] = {}
+        # Bound liveness check, saving one attribute hop per reception.
+        self._channel_is_alive = channel.is_alive
         channel.register(node_id, self._on_channel_receive)
 
     # -- wiring -----------------------------------------------------------------
@@ -176,9 +181,10 @@ class LMACProtocol(SimProcess):
                 self.channel.unicast(self.node_id, destination, frame, kind, payload_bytes)
 
         # Waiting for the owned slot is modelled as a small constant latency.
-        self.sim.schedule_after(
-            self._mac_access_delay, transmit, label=f"{self.name}.tx[{kind}]"
-        )
+        label = self._tx_labels.get(kind)
+        if label is None:
+            label = self._tx_labels[kind] = f"{self.name}.tx[{kind}]"
+        self.sim.schedule_after(self._mac_access_delay, transmit, label=label)
 
     def broadcast(self, payload: Any, kind: str, payload_bytes: int = 32) -> None:
         """Convenience wrapper for a one-hop broadcast."""
@@ -208,7 +214,7 @@ class LMACProtocol(SimProcess):
     def _control_section(self) -> ControlSection:
         return ControlSection(
             slot=self.schedule.own_slot,
-            occupied_slots=frozenset(self.schedule.occupied_first_hop()),
+            occupied_slots=self.schedule.occupied_first_hop_frozen(),
             sequence=self._sequence,
         )
 
@@ -244,23 +250,28 @@ class LMACProtocol(SimProcess):
             # Foreign traffic (e.g. the tree-setup protocol driving the
             # channel directly) is ignored by the MAC layer.
             return
-        if not self.channel.is_alive(self.node_id):
+        node_id = self.node_id
+        if not self._channel_is_alive(node_id):
             return
         self._observe_neighbor(sender, frame.control)
-        if frame.has_payload and frame.destination in (self.node_id, BROADCAST):
-            if self._upper_handler is not None:
-                self._upper_handler(sender, frame.payload)
+        if frame.has_payload:
+            destination = frame.destination
+            if destination == node_id or destination == BROADCAST:
+                if self._upper_handler is not None:
+                    self._upper_handler(sender, frame.payload)
 
     def _observe_neighbor(self, sender: NodeId, control: ControlSection) -> None:
-        is_new = sender not in self.neighbors
-        self.neighbors.observe(sender, self.now, slot=control.slot)
+        now = self.sim.clock.now
+        neighbors = self.neighbors
+        is_new = sender not in neighbors
+        neighbors.observe(sender, now, slot=control.slot)
         self._beacons_since_heard[sender] = 0
         self._last_sequence_seen[sender] = control.sequence
         self.schedule.record_neighbor_slot(sender, control.slot)
         self.schedule.record_reported_occupancy(control.occupied_slots)
         if is_new:
             self.sim.tracer.record(
-                self.now, "lmac.neighbor_found", self.node_id, neighbor=sender
+                now, "lmac.neighbor_found", self.node_id, neighbor=sender
             )
             self.crosslayer.publish(
                 NeighborFound(

@@ -37,8 +37,14 @@ class SlotSchedule:
         self.own_slot: Optional[int] = None
         # slot -> owning one-hop neighbour
         self._first_hop: Dict[int, NodeId] = {}
+        # neighbour -> slot (reverse index of _first_hop, maintained so the
+        # per-beacon bookkeeping does not scan the whole slot map)
+        self._slot_of: Dict[NodeId, int] = {}
         # slots reported occupied by neighbours (their one-hop view = our two-hop)
         self._second_hop: Set[int] = set()
+        # cached frozenset for the per-frame control section (see
+        # occupied_first_hop_frozen); invalidated on any first-hop change
+        self._first_hop_frozen: Optional[FrozenSet[int]] = None
 
     # -- mutation ---------------------------------------------------------------
 
@@ -46,27 +52,42 @@ class SlotSchedule:
         """Claim ``slot`` as this node's own transmit slot."""
         self._check_slot(slot)
         self.own_slot = slot
+        self._first_hop_frozen = None
 
     def release(self) -> None:
         """Give up the currently owned slot (used on collision detection)."""
         self.own_slot = None
+        self._first_hop_frozen = None
 
     def record_neighbor_slot(self, neighbor: NodeId, slot: Optional[int]) -> None:
         """Record that a one-hop neighbour owns ``slot``."""
         if slot is None:
             return
+        previous = self._slot_of.get(neighbor)
+        if previous == slot and self._first_hop.get(slot) == neighbor:
+            # Steady state: the neighbour re-announces its known slot in
+            # every beacon, so this is the per-beacon hot path.
+            return
         self._check_slot(slot)
-        # Drop any stale claim this neighbour previously had.
-        stale = [s for s, nid in self._first_hop.items() if nid == neighbor and s != slot]
-        for s in stale:
-            del self._first_hop[s]
+        # Drop the stale claim this neighbour previously had (at most one:
+        # the reverse index guarantees one recorded slot per neighbour).
+        if previous is not None and previous != slot:
+            if self._first_hop.get(previous) == neighbor:
+                del self._first_hop[previous]
         self._first_hop[slot] = neighbor
+        self._slot_of[neighbor] = slot
+        self._first_hop_frozen = None
 
     def record_reported_occupancy(self, occupied: FrozenSet[int] | Set[int]) -> None:
         """Merge a neighbour's reported occupied-slot set (two-hop knowledge)."""
+        second_hop = self._second_hop
+        if occupied <= second_hop:
+            # Per-beacon hot path: an unchanged neighbourhood reports the
+            # same occupancy every beacon interval.
+            return
         for slot in occupied:
             self._check_slot(slot)
-            self._second_hop.add(slot)
+        second_hop |= occupied
 
     def forget_neighbor(self, neighbor: NodeId) -> None:
         """Remove all first-hop claims held by a (dead) neighbour.
@@ -74,10 +95,11 @@ class SlotSchedule:
         Two-hop occupancy is rebuilt over time from fresh control sections;
         we clear it conservatively so freed slots become reusable.
         """
-        stale = [s for s, nid in self._first_hop.items() if nid == neighbor]
-        for s in stale:
-            del self._first_hop[s]
+        slot = self._slot_of.pop(neighbor, None)
+        if slot is not None and self._first_hop.get(slot) == neighbor:
+            del self._first_hop[slot]
         self._second_hop = set()
+        self._first_hop_frozen = None
 
     # -- queries -----------------------------------------------------------------
 
@@ -91,6 +113,17 @@ class SlotSchedule:
         if self.own_slot is not None:
             occupied.add(self.own_slot)
         return occupied
+
+    def occupied_first_hop_frozen(self) -> FrozenSet[int]:
+        """Cached frozen view of :meth:`occupied_first_hop`.
+
+        Every transmitted frame embeds this set in its control section, so
+        it is rebuilt only when the first-hop schedule actually changes.
+        """
+        cached = self._first_hop_frozen
+        if cached is None:
+            cached = self._first_hop_frozen = frozenset(self.occupied_first_hop())
+        return cached
 
     def occupied_anywhere(self) -> Set[int]:
         """Slots occupied within this node's two-hop knowledge."""

@@ -8,13 +8,23 @@ exactly as §5 of the paper does.
 
 Delivery is scheduled through the simulation engine with a small propagation
 plus MAC-access delay, so message interleaving within an epoch is modelled
-explicitly and deterministically.
+explicitly and deterministically.  A transmission's whole fan-out is carried
+by a *single* delivery event that walks the target list (loss already
+applied, in one vectorised draw per transmission), instead of one closure
+per receiver: the event-queue traffic per broadcast is O(1) rather than
+O(neighbours), which is where most of the hot-loop time used to go.
+
+Reception cost is charged when the frame is *delivered*, not when it is
+transmitted: a receiver that dies while the frame is in flight is recorded
+as a drop and is never charged, so the energy ledger and the channel stats
+always agree about how many receptions actually happened.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Optional
+import math
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -61,14 +71,21 @@ class WirelessChannel:
     loss_probability:
         Independent probability that any individual reception fails.  The
         paper's evaluation uses an ideal channel (0.0), but tests and
-        ablations exercise lossy settings.
+        ablations exercise lossy settings -- including the ``1.0``
+        "all receptions fail" ablation.
     propagation_delay:
         Simulated delay between transmission and reception.  Kept well below
         one epoch so all per-epoch protocol exchanges settle before the next
         sampling round.
     rng:
-        Random generator for loss draws (only needed when
-        ``loss_probability > 0``).
+        Random generator for loss draws.  Required whenever
+        ``loss_probability > 0`` (validated at construction time so a lossy
+        channel can never silently behave as an ideal one).
+    batched_delivery:
+        When True (the default) a transmission's whole fan-out rides on one
+        delivery event.  ``False`` selects the reference formulation -- one
+        event per receiver -- kept for A/B determinism tests: both paths
+        must produce bit-identical experiment results.
     """
 
     def __init__(
@@ -81,9 +98,14 @@ class WirelessChannel:
         propagation_delay: float = 1e-3,
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
+        batched_delivery: bool = True,
     ):
-        if not (0.0 <= loss_probability < 1.0):
-            raise ValueError("loss_probability must be in [0, 1)")
+        if not (0.0 <= loss_probability <= 1.0):
+            raise ValueError("loss_probability must be in [0, 1]")
+        if loss_probability > 0.0 and rng is None:
+            raise ValueError(
+                "loss_probability > 0 requires an rng for the loss draws"
+            )
         if propagation_delay < 0:
             raise ValueError("propagation_delay must be non-negative")
         self.sim = sim
@@ -96,9 +118,13 @@ class WirelessChannel:
         self.propagation_delay = float(propagation_delay)
         self.rng = rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.batched_delivery = bool(batched_delivery)
         self.stats = ChannelStats()
         self._receivers: Dict[NodeId, ReceiveCallback] = {}
         self._alive: Dict[NodeId, bool] = {nid: True for nid in self.graph.nodes}
+        # Per-kind delivery-event labels, built once (one delivery event per
+        # transmission makes the label f-string a per-frame cost otherwise).
+        self._delivery_labels: Dict[str, str] = {}
 
     # -- registration ---------------------------------------------------------
 
@@ -125,7 +151,12 @@ class WirelessChannel:
         return self._alive.get(node_id, False)
 
     def add_node(self, node_id: NodeId, position, neighbors=None) -> None:
-        """Add a node to the channel's connectivity view."""
+        """Add a node to the channel's connectivity view.
+
+        When ``neighbors`` is omitted the node is auto-wired to every *alive*
+        node within ``comm_range``: linking through a dead node would let a
+        later resurrection inherit connectivity the radio never had.
+        """
         if node_id in self.graph:
             raise ValueError(f"node {node_id} already present")
         self.graph.add_node(node_id)
@@ -133,12 +164,11 @@ class WirelessChannel:
         if neighbors is None:
             if self.comm_range is None:
                 raise ValueError("neighbors required when comm_range is unset")
-            import math
-
+            here = self.positions[node_id]
             for other, pos in self.positions.items():
-                if other == node_id:
+                if other == node_id or not self._alive.get(other):
                     continue
-                if math.dist(pos, self.positions[node_id]) <= self.comm_range:
+                if math.dist(pos, here) <= self.comm_range:
                     self.graph.add_edge(node_id, other)
         else:
             for other in neighbors:
@@ -171,11 +201,13 @@ class WirelessChannel:
     ) -> int:
         """One-hop MAC broadcast from ``sender``.
 
-        Charges the sender one transmission and every alive neighbour one
-        reception (whether or not the neighbour's protocol cares about the
-        frame), exactly matching the paper's flooding cost accounting.
+        Charges the sender one transmission; every alive neighbour whose
+        reception survives the loss draw is charged one reception when the
+        frame is delivered (whether or not the neighbour's protocol cares
+        about the frame), exactly matching the paper's flooding cost
+        accounting.
 
-        Returns the number of neighbours the frame was delivered to.
+        Returns the number of receptions scheduled (loss already applied).
         """
         return self._transmit(sender, BROADCAST, frame, kind, payload_bytes)
 
@@ -189,8 +221,9 @@ class WirelessChannel:
     ) -> int:
         """Unicast from ``sender`` to a one-hop neighbour ``dest``.
 
-        Charges one transmission and one reception.  Returns 1 on delivery,
-        0 if the frame was dropped (dead node, missing link, channel loss).
+        Charges one transmission and (at delivery) one reception.  Returns 1
+        when a reception was scheduled, 0 if the frame was dropped at
+        transmit time (dead node, missing link, channel loss).
         """
         validate_node_id(dest)
         return self._transmit(sender, dest, frame, kind, payload_bytes)
@@ -206,14 +239,15 @@ class WirelessChannel:
         payload_bytes: int,
     ) -> int:
         validate_node_id(sender)
+        alive = self._alive
         if sender not in self.graph:
             raise KeyError(f"unknown sender {sender}")
-        if not self._alive.get(sender):
+        if not alive.get(sender):
             self.stats.drops_dead_node += 1
             return 0
 
         if dest == BROADCAST:
-            targets = [n for n in self.graph.neighbors(sender) if self._alive.get(n)]
+            targets = [n for n in self.graph.neighbors(sender) if alive.get(n)]
             self.stats.broadcasts += 1
         else:
             if not self.graph.has_edge(sender, dest):
@@ -221,7 +255,7 @@ class WirelessChannel:
                 # The transmission still happens (and is still paid for); it
                 # simply reaches nobody, as on a real radio.
                 targets = []
-            elif not self._alive.get(dest):
+            elif not alive.get(dest):
                 self.stats.drops_dead_node += 1
                 targets = []
             else:
@@ -230,36 +264,107 @@ class WirelessChannel:
 
         tx_cost = self.energy_model.transmit_cost(payload_bytes, len(targets))
         self.ledger.node(sender).charge_tx(kind, tx_cost)
-        self.tracer.record(
-            self.sim.now, "channel.tx", sender, dest=dest, kind=kind, targets=len(targets)
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now,
+                "channel.tx",
+                sender,
+                dest=dest,
+                kind=kind,
+                targets=len(targets),
+            )
 
-        delivered = 0
-        for target in targets:
-            if self.loss_probability > 0.0 and self.rng is not None:
-                if self.rng.random() < self.loss_probability:
-                    self.stats.drops_loss += 1
-                    continue
-            rx_cost = self.energy_model.receive_cost(payload_bytes)
-            self.ledger.node(target).charge_rx(kind, rx_cost)
-            delivered += 1
-            self._schedule_delivery(sender, target, frame, kind)
-        return delivered
+        if targets and self.loss_probability > 0.0:
+            # One vectorised draw per transmission; numpy's Generator yields
+            # the same stream as per-target random() calls, so lossy runs
+            # stay bit-identical to the per-receiver event formulation.
+            draws = self.rng.random(len(targets))
+            survivors = [
+                target
+                for target, draw in zip(targets, draws)
+                if draw >= self.loss_probability
+            ]
+            self.stats.drops_loss += len(targets) - len(survivors)
+            targets = survivors
+        if targets:
+            self._schedule_delivery(sender, targets, frame, kind, payload_bytes)
+        return len(targets)
 
     def _schedule_delivery(
-        self, sender: NodeId, target: NodeId, frame: Any, kind: str
+        self,
+        sender: NodeId,
+        targets: List[NodeId],
+        frame: Any,
+        kind: str,
+        payload_bytes: int,
     ) -> None:
+        """Schedule one batched delivery event for a transmission's fan-out.
+
+        Reception energy is charged here, per target, at delivery time: a
+        target that died while the frame was in flight is counted as
+        ``drops_dead_node`` and never charged, keeping the ledger and the
+        delivery stats consistent.
+        """
+        rx_cost = self.energy_model.receive_cost(payload_bytes)
+        if not self.batched_delivery:
+            # Reference formulation: one event per receiver, in the same
+            # order the batched event walks them.  Both paths must yield
+            # bit-identical results (guarded by the determinism tests).
+            for target in targets:
+                self._schedule_single_delivery(sender, target, frame, kind, rx_cost)
+            return
+
+        def deliver() -> None:
+            alive = self._alive
+            receivers = self._receivers
+            stats = self.stats
+            tracer = self.tracer
+            ledger = self.ledger
+            now = self.sim.now
+            traced = tracer.enabled
+            for target in targets:
+                if not alive.get(target):
+                    stats.drops_dead_node += 1
+                    continue
+                ledger.node(target).charge_rx(kind, rx_cost)
+                receiver = receivers.get(target)
+                if receiver is None:
+                    continue
+                stats.deliveries += 1
+                if traced:
+                    tracer.record(
+                        now, "channel.rx", target, sender=sender, kind=kind
+                    )
+                receiver(sender, frame)
+
+        label = self._delivery_labels.get(kind)
+        if label is None:
+            label = self._delivery_labels[kind] = f"deliver[{kind}]"
+        self.sim.schedule_after(
+            self.propagation_delay,
+            deliver,
+            priority=EventPriority.MAC,
+            label=label,
+        )
+
+    def _schedule_single_delivery(
+        self, sender: NodeId, target: NodeId, frame: Any, kind: str, rx_cost: float
+    ) -> None:
+        """Unbatched reference delivery of one frame to one target."""
+
         def deliver() -> None:
             if not self._alive.get(target):
                 self.stats.drops_dead_node += 1
                 return
+            self.ledger.node(target).charge_rx(kind, rx_cost)
             receiver = self._receivers.get(target)
             if receiver is None:
                 return
             self.stats.deliveries += 1
-            self.tracer.record(
-                self.sim.now, "channel.rx", target, sender=sender, kind=kind
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.sim.now, "channel.rx", target, sender=sender, kind=kind
+                )
             receiver(sender, frame)
 
         self.sim.schedule_after(

@@ -45,6 +45,7 @@ class NeighborTable:
     def __init__(self, owner: NodeId):
         self.owner = owner
         self._entries: Dict[NodeId, NeighborEntry] = {}
+        self._ids_cache: Optional[List[NodeId]] = None
 
     # -- mutation ------------------------------------------------------------
 
@@ -68,8 +69,10 @@ class NeighborTable:
         if entry is None:
             entry = NeighborEntry(node_id=node_id, last_heard=time, slot=slot)
             self._entries[node_id] = entry
+            self._ids_cache = None
         else:
-            entry.last_heard = max(entry.last_heard, time)
+            if time > entry.last_heard:
+                entry.last_heard = time
             if slot is not None:
                 entry.slot = slot
         if quality_sample is not None:
@@ -79,10 +82,14 @@ class NeighborTable:
 
     def remove(self, node_id: NodeId) -> bool:
         """Forget a neighbour (e.g. after the MAC declares it dead)."""
-        return self._entries.pop(node_id, None) is not None
+        removed = self._entries.pop(node_id, None) is not None
+        if removed:
+            self._ids_cache = None
+        return removed
 
     def clear(self) -> None:
         self._entries.clear()
+        self._ids_cache = None
 
     # -- queries ---------------------------------------------------------------
 
@@ -100,8 +107,15 @@ class NeighborTable:
 
     @property
     def neighbor_ids(self) -> List[NodeId]:
-        """Sorted identifiers of all currently known neighbours."""
-        return sorted(self._entries)
+        """Sorted identifiers of all currently known neighbours.
+
+        Cached between membership changes: the MAC death scan walks this
+        every beacon period for every node.
+        """
+        cached = self._ids_cache
+        if cached is None:
+            cached = self._ids_cache = sorted(self._entries)
+        return list(cached)
 
     def stale(self, now: float, timeout: float) -> List[NodeId]:
         """Neighbours not heard from within ``timeout`` time units of ``now``."""

@@ -45,6 +45,11 @@ class SensorNode:
         self.battery = battery if battery is not None else Battery()
         self.alive = True
         self._sensors: Dict[str, Any] = {}
+        self._sensor_types_cache: Optional[List[str]] = None
+        self._sensors_sorted_cache: Optional[List[Tuple[str, Any]]] = None
+        #: Bumped on attach/detach so protocol layers can cache sensor-derived
+        #: state and cheaply detect when it must be rebuilt.
+        self.sensors_version = 0
         # Protocol stack; assigned by the experiment runner / examples.
         self.mac: Any = None
         self.app: Any = None
@@ -64,10 +69,18 @@ class SensorNode:
         if not stype:
             raise ValueError("sensor must expose a non-empty sensor_type")
         self._sensors[str(stype)] = sensor
+        self._sensor_types_cache = None
+        self._sensors_sorted_cache = None
+        self.sensors_version += 1
 
     def detach_sensor(self, sensor_type: str) -> bool:
         """Remove the sensor of the given type; returns True if present."""
-        return self._sensors.pop(sensor_type, None) is not None
+        removed = self._sensors.pop(sensor_type, None) is not None
+        if removed:
+            self._sensor_types_cache = None
+            self._sensors_sorted_cache = None
+            self.sensors_version += 1
+        return removed
 
     def has_sensor(self, sensor_type: str) -> bool:
         return sensor_type in self._sensors
@@ -79,12 +92,37 @@ class SensorNode:
 
     @property
     def sensor_types(self) -> List[str]:
-        """Sorted sensor types mounted on this node."""
-        return sorted(self._sensors)
+        """Sorted sensor types mounted on this node.
+
+        The protocol layer iterates this every epoch; the sorted list is
+        cached and invalidated on attach/detach so the hot loop does not
+        re-sort an unchanged sensor suite 20 000 times.
+        """
+        cached = self._sensor_types_cache
+        if cached is None:
+            cached = self._sensor_types_cache = sorted(self._sensors)
+        return list(cached)
+
+    def sensors_sorted(self) -> List[Tuple[str, Any]]:
+        """``(sensor_type, sensor)`` pairs in sorted type order (cached).
+
+        The per-epoch sampling loop walks this list; it is rebuilt only when
+        a sensor is attached or detached.
+        """
+        cached = self._sensors_sorted_cache
+        if cached is None:
+            cached = self._sensors_sorted_cache = [
+                (stype, self._sensors[stype]) for stype in self.sensor_types
+            ]
+        return cached
 
     def sample(self, sensor_type: str, epoch: int) -> float:
         """Acquire a reading from the named sensor at the given epoch."""
-        return float(self.sensor(sensor_type).sample(epoch))
+        sensor = self._sensors.get(sensor_type)
+        if sensor is None:
+            raise KeyError(f"node {self.node_id} has no {sensor_type!r} sensor")
+        value = sensor.sample(epoch)
+        return value if type(value) is float else float(value)
 
     def sample_all(self, epoch: int) -> Dict[str, float]:
         """Acquire a reading from every mounted sensor."""

@@ -13,6 +13,7 @@ so that ablations can quantify that cost.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, Optional
 
 from ..network.addresses import NodeId
@@ -23,11 +24,10 @@ class SamplingCounter:
     """Counts sensor acquisitions per (node, sensor type)."""
 
     def __init__(self) -> None:
-        self._counts: Dict[tuple[NodeId, str], int] = {}
+        self._counts: Dict[tuple[NodeId, str], int] = defaultdict(int)
 
     def record(self, node_id: NodeId, sensor_type: str) -> None:
-        key = (node_id, sensor_type)
-        self._counts[key] = self._counts.get(key, 0) + 1
+        self._counts[(node_id, sensor_type)] += 1
 
     def count(self, node_id: Optional[NodeId] = None, sensor_type: Optional[str] = None) -> int:
         """Total acquisitions matching the given filters."""
@@ -78,15 +78,28 @@ class Sensor:
         self.dataset = dataset
         self.calibration_offset = float(calibration_offset)
         self.counter = counter
+        # Sampling happens once per epoch for the whole run, so the node's
+        # ground-truth column is resolved once here instead of going through
+        # dataset.reading's per-call type/column lookups.
+        self._series = dataset.node_series(sensor_type, node_id)
+        self._num_epochs = len(self._series)
+        # Pre-bound acquisition-counter bucket: record() is one dict update,
+        # but at nodes x types x 20 000 epochs even the method call shows up.
+        self._counts = counter._counts if counter is not None else None
+        self._count_key = (node_id, sensor_type)
 
     def sample(self, epoch: int) -> float:
         """Acquire a reading for the given epoch."""
-        if self.counter is not None:
-            self.counter.record(self.node_id, self.sensor_type)
-        return (
-            self.dataset.reading(self.sensor_type, self.node_id, epoch)
-            + self.calibration_offset
-        )
+        counts = self._counts
+        if counts is not None:
+            counts[self._count_key] += 1
+        if not 0 <= epoch < self._num_epochs:
+            raise IndexError(
+                f"epoch {epoch} out of range [0, {self._num_epochs})"
+            )
+        # ndarray.item() returns a Python float directly, skipping the
+        # intermediate numpy scalar that float(arr[i]) would build.
+        return self._series.item(epoch) + self.calibration_offset
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Sensor(node={self.node_id}, type={self.sensor_type!r})"

@@ -8,9 +8,19 @@ Design choices
 --------------
 * **Determinism.**  Events are ordered by ``(time, priority, sequence)``;
   the sequence counter makes insertion order the final tie-breaker, so a
-  simulation with the same seed replays identically.
-* **Lazy cancellation.**  Cancelled events remain on the heap and are skipped
-  when popped; this keeps :meth:`Simulator.cancel` O(1).
+  simulation with the same seed replays identically.  The heap stores plain
+  ``(time, priority, seq, event)`` tuples: the unique sequence number means
+  comparisons never fall through to the :class:`Event` object, so ordering
+  is resolved entirely by C-level tuple comparison.
+* **Lazy cancellation with compaction.**  Cancelled events remain on the
+  heap and are skipped when popped; this keeps :meth:`Simulator.cancel`
+  O(1).  Unlike a purely lazy scheme (which leaks one heap entry per
+  cancelled event for the whole run), the engine counts cancelled entries
+  and compacts the heap in place once they dominate it, so the queue size
+  stays proportional to the number of *live* events.
+* **Cached head time.**  The earliest scheduled time is tracked as a cheap
+  lower bound, making :meth:`run_until` O(1) when nothing is due before the
+  boundary -- the common case for the experiment runner's per-epoch drains.
 * **Epoch-driven operation.**  The experiment runner advances the network one
   *epoch* at a time (the paper's sampling period).  Within an epoch, protocol
   messages are exchanged as ordinary events at fractional times; the runner
@@ -56,14 +66,26 @@ class Simulator:
     ['b', 'a']
     """
 
+    #: Compaction threshold: the heap is rebuilt (dropping cancelled
+    #: entries) once at least this many cancelled events are queued *and*
+    #: they make up at least half of the heap.  The invariant is therefore
+    #: ``queue_size < 2 * pending + COMPACT_MIN_CANCELLED``.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0, tracer: Optional[Tracer] = None):
         self.clock = SimClock(start_time)
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._queue: list[Event] = []
+        self._heap: list = []
         self._seq = 0
         self._executed = 0
         self._running = False
         self._stop_requested = False
+        #: Cancelled events still sitting in the heap.
+        self._cancelled_in_heap = 0
+        #: Lower bound on the next pending event time (exact when the head
+        #: entry is live; conservative -- never *above* the true head --
+        #: when the head was cancelled).  ``None`` iff the heap is empty.
+        self._head_time: Optional[float] = None
 
     # -- inspection --------------------------------------------------------
 
@@ -74,8 +96,18 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of not-yet-cancelled events still in the queue (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def queue_size(self) -> int:
+        """Heap entries currently held, including cancelled ones."""
+        return len(self._heap)
+
+    @property
+    def cancelled_in_queue(self) -> int:
+        """Cancelled events awaiting compaction or pop-time discard."""
+        return self._cancelled_in_heap
 
     @property
     def executed(self) -> int:
@@ -85,9 +117,9 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Simulated time of the next pending event, or ``None`` if empty."""
         self._discard_cancelled_head()
-        if not self._queue:
+        if not self._heap:
             return None
-        return self._queue[0].time
+        return self._heap[0][0]
 
     # -- scheduling --------------------------------------------------------
 
@@ -105,21 +137,26 @@ class Simulator:
         SimulationError
             If ``time`` is before the current simulated time.
         """
+        time = float(time)
         if time < self.clock.now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time "
                 f"t={self.clock.now}"
             )
+        seq = self._seq
+        self._seq = seq + 1
         event = Event(
-            time=float(time),
+            time=time,
             priority=int(priority),
-            seq=self._seq,
+            seq=seq,
             callback=callback,
             label=label,
         )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        heapq.heappush(self._heap, (time, event.priority, seq, event))
+        head = self._head_time
+        if head is None or time < head:
+            self._head_time = time
+        return EventHandle(event, self)
 
     def schedule_after(
         self,
@@ -147,11 +184,13 @@ class Simulator:
         empty.
         """
         self._discard_cancelled_head()
-        if not self._queue:
+        if not self._heap:
             return False
-        event = heapq.heappop(self._queue)
-        self.clock._advance(event.time)
+        time, _, _, event = heapq.heappop(self._heap)
+        self._head_time = self._heap[0][0] if self._heap else None
+        self.clock._advance(time)
         self._executed += 1
+        event.executed = True
         event.callback()
         return True
 
@@ -177,7 +216,18 @@ class Simulator:
         The clock is left at ``until`` (or later if an executed event pushed
         it exactly there), so subsequent :meth:`schedule_after` calls are
         relative to the epoch boundary even if no event fired at it.
+
+        When nothing is due at or before ``until`` this is O(1): the cached
+        head time lets the call skip the event loop entirely and just
+        advance the clock (the experiment runner's epoch fast path).
         """
+        head = self._head_time
+        if head is None or head > until:
+            if self._running:
+                raise SimulationError("Simulator.run is not reentrant")
+            if self.clock.now < until:
+                self.clock._advance(until)
+            return 0
         executed = self._run_loop(until=until, max_events=max_events)
         if self.clock.now < until:
             self.clock._advance(until)
@@ -190,8 +240,36 @@ class Simulator:
     # -- internals ---------------------------------------------------------
 
     def _discard_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        heap = self._heap
+        removed = 0
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            removed += 1
+        if removed:
+            self._cancelled_in_heap -= removed
+        self._head_time = heap[0][0] if heap else None
+
+    def _note_cancelled(self, event: Event) -> None:
+        """Bookkeeping hook invoked by :meth:`EventHandle.cancel`.
+
+        Keeps :attr:`pending` exact without scanning the heap and triggers
+        in-place compaction once cancelled entries dominate the queue.
+        """
+        self._cancelled_in_heap += 1
+        cancelled = self._cancelled_in_heap
+        if (
+            cancelled >= self.COMPACT_MIN_CANCELLED
+            and 2 * cancelled >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (in place, O(n))."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        self._head_time = heap[0][0] if heap else None
 
     def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> int:
         if self._running:
@@ -199,25 +277,35 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         executed = 0
+        # The heap list object is stable: _compact rewrites it in place, so
+        # this local alias stays valid even if a callback triggers compaction.
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
         try:
             while True:
                 if self._stop_requested:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self._discard_cancelled_head()
-                if not self._queue:
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
+                if not heap:
                     break
-                head = self._queue[0]
-                if until is not None and head.time > until:
+                entry = heap[0]
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._queue)
-                self.clock._advance(head.time)
+                heappop(heap)
+                event = entry[3]
+                clock._advance(entry[0])
                 self._executed += 1
                 executed += 1
-                head.callback()
+                event.executed = True
+                event.callback()
         finally:
             self._running = False
+            self._head_time = heap[0][0] if heap else None
         return executed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

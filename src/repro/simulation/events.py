@@ -36,7 +36,7 @@ class EventPriority(enum.IntEnum):
     DEFAULT = 50
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Event:
     """A single scheduled occurrence in the simulation.
 
@@ -64,6 +64,7 @@ class Event:
     callback: Callable[[], Any]
     label: str = ""
     cancelled: bool = False
+    executed: bool = False
 
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.seq)
@@ -78,12 +79,18 @@ class EventHandle:
     Cancellation is *lazy*: the event stays in the heap but is skipped when
     it is popped.  This is O(1) and is the standard approach for simulation
     kernels where cancelled events are a small fraction of the total.
+
+    Handles created by the :class:`~repro.simulation.engine.Simulator` carry
+    a back-reference to it so the scheduler can keep an exact pending-event
+    counter and compact the heap once too many cancelled entries accumulate
+    (lazy cancellation alone would leak heap entries for the whole run).
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_scheduler")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, scheduler: Any = None):
         self._event = event
+        self._scheduler = scheduler
 
     @property
     def time(self) -> float:
@@ -104,9 +111,12 @@ class EventHandle:
         Returns ``True`` if the event was still pending and is now
         cancelled, ``False`` if it had already been cancelled.
         """
-        if self._event.cancelled:
+        event = self._event
+        if event.cancelled:
             return False
-        self._event.cancelled = True
+        event.cancelled = True
+        if self._scheduler is not None and not event.executed:
+            self._scheduler._note_cancelled(event)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

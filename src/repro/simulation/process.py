@@ -35,6 +35,7 @@ class SimProcess:
         self.sim = sim
         self.name = str(name)
         self._timers: Dict[str, EventHandle] = {}
+        self._timer_labels: Dict[str, str] = {}
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -89,9 +90,12 @@ class SimProcess:
             else:
                 self.on_timer(name)
 
-        handle = self.sim.schedule_after(
-            delay, fire, priority=priority, label=f"{self.name}.timer.{name}"
-        )
+        # Periodic timers (beacons, protocol ticks) re-arm with the same name
+        # for the whole run; cache the label string instead of rebuilding it.
+        label = self._timer_labels.get(name)
+        if label is None:
+            label = self._timer_labels[name] = f"{self.name}.timer.{name}"
+        handle = self.sim.schedule_after(delay, fire, priority=priority, label=label)
         self._timers[name] = handle
         return handle
 

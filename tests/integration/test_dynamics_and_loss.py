@@ -83,6 +83,29 @@ class TestCrossLayerNotifications:
             assert 9 not in table.child_ids
 
 
+class TestLedgerDeliveryInvariant:
+    def test_rx_charges_match_deliveries_under_node_death(self, dynamic_config):
+        """Every reception unit in the ledger corresponds to a delivery that
+        actually happened, even when nodes die with frames in flight."""
+        from repro.experiments.runner import ExperimentRunner
+
+        cfg = dynamic_config.replace(
+            num_epochs=300,
+            topology_events=[
+                TopologyEvent(epoch=100, kind=TopologyEvent.KILL, node_id=6),
+                TopologyEvent(epoch=150, kind=TopologyEvent.KILL, node_id=13),
+            ],
+        ).with_fixed_delta(5.0)
+        runner = ExperimentRunner(cfg)
+        runner.build()
+        result = runner.run()
+        world = runner.world
+        assert (
+            result.ledger.total_count(direction="rx")
+            == world.channel.stats.deliveries
+        )
+
+
 class TestLossyChannel:
     def test_dirq_still_functions_under_moderate_loss(self, dynamic_config):
         lossless = run_experiment(dynamic_config.with_fixed_delta(5.0))

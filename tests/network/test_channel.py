@@ -164,3 +164,157 @@ class TestDynamics:
     def test_invalid_loss_probability(self, star4):
         with pytest.raises(ValueError):
             make_channel(star4, loss_probability=1.5)
+
+
+class TestLossValidation:
+    def test_loss_probability_one_is_accepted_and_drops_everything(self, star4):
+        """The 'all receptions fail' ablation is a legitimate setting."""
+        sim, channel = make_channel(
+            star4, loss_probability=1.0, rng=np.random.default_rng(0)
+        )
+        sink = Collector()
+        channel.register(1, sink)
+        assert channel.broadcast(0, "x", kind="test") == 0
+        sim.run()
+        assert sink.received == []
+        assert channel.stats.drops_loss == 4
+        # The transmission itself is still paid for; nothing is received.
+        assert channel.ledger.total_count(direction="tx") == 1
+        assert channel.ledger.total_count(direction="rx") == 0
+
+    def test_negative_loss_probability_rejected(self, star4):
+        with pytest.raises(ValueError):
+            make_channel(star4, loss_probability=-0.1)
+
+    def test_lossy_channel_without_rng_raises_at_construction(self, star4):
+        """A lossy channel must never silently behave as an ideal one."""
+        with pytest.raises(ValueError, match="rng"):
+            make_channel(star4, loss_probability=0.3, rng=None)
+
+    def test_ideal_channel_needs_no_rng(self, star4):
+        _, channel = make_channel(star4, loss_probability=0.0, rng=None)
+        assert channel.loss_probability == 0.0
+
+
+class TestDeliveryTimeAccounting:
+    """Reception energy is charged at delivery; the ledger and the stats
+    must agree about receptions that actually happened."""
+
+    def test_rx_not_charged_before_delivery(self, star4):
+        sim, channel = make_channel(star4)
+        channel.unicast(0, 1, "m", kind="test")
+        # Transmit cost is immediate, reception is still in flight.
+        assert channel.ledger.total_count(direction="tx", kind="test") == 1
+        assert channel.ledger.total_count(direction="rx", kind="test") == 0
+        sim.run()
+        assert channel.ledger.total_count(direction="rx", kind="test") == 1
+
+    def test_target_dying_in_flight_is_never_charged(self, star4):
+        sim, channel = make_channel(star4)
+        sink = Collector()
+        channel.register(1, sink)
+        channel.unicast(0, 1, "m", kind="test")
+        channel.set_alive(1, False)  # dies while the frame is in the air
+        sim.run()
+        assert sink.received == []
+        assert channel.stats.drops_dead_node == 1
+        assert channel.stats.deliveries == 0
+        assert channel.ledger.total_count(direction="rx", kind="test") == 0
+        assert channel.ledger.total_cost(["test"]) == 1.0  # tx only
+
+    def test_in_flight_death_no_double_drop_count(self, star4):
+        sim, channel = make_channel(star4)
+        channel.unicast(0, 1, "m", kind="test")
+        channel.set_alive(1, False)
+        sim.run()
+        # Exactly one drop is recorded for the one lost reception.
+        assert channel.stats.drops_dead_node == 1
+
+    def test_broadcast_partial_in_flight_death(self, star4):
+        sim, channel = make_channel(star4)
+        sinks = {nid: Collector() for nid in (1, 2, 3, 4)}
+        for nid, sink in sinks.items():
+            channel.register(nid, sink)
+        channel.broadcast(0, "x", kind="test")
+        channel.set_alive(3, False)
+        sim.run()
+        assert channel.stats.deliveries == 3
+        assert channel.stats.drops_dead_node == 1
+        assert channel.ledger.total_count(direction="rx", kind="test") == 3
+        assert sinks[3].received == []
+
+    def test_charged_equals_delivered_invariant(self, star4):
+        """Ledger rx count == stats.deliveries when every node registers."""
+        rng = np.random.default_rng(7)
+        sim, channel = make_channel(
+            star4, loss_probability=0.4, rng=np.random.default_rng(1)
+        )
+        for nid in star4.node_ids:
+            channel.register(nid, Collector())
+        for i in range(50):
+            channel.broadcast(int(rng.integers(0, 5)), "x", kind="test")
+            if i == 20:
+                channel.set_alive(4, False)
+            if i == 35:
+                channel.set_alive(4, True)
+        sim.run()
+        assert (
+            channel.ledger.total_count(direction="rx", kind="test")
+            == channel.stats.deliveries
+        )
+
+
+class TestBatchedDeliveryEquivalence:
+    """The batched fan-out event must behave exactly like one event per
+    receiver (the reference formulation kept for A/B testing)."""
+
+    def _run(self, topology, batched, loss=0.0):
+        sim = Simulator()
+        channel = WirelessChannel(
+            sim,
+            topology,
+            loss_probability=loss,
+            rng=np.random.default_rng(3) if loss else None,
+            batched_delivery=batched,
+        )
+        log = []
+        for nid in topology.node_ids:
+            channel.register(nid, lambda s, f, nid=nid: log.append((nid, s, f)))
+        for i in range(40):
+            channel.broadcast(i % 5, ("payload", i), kind="test")
+            channel.unicast(i % 5, (i + 1) % 5, ("uni", i), kind="update")
+        sim.run()
+        return log, channel
+
+    def test_same_delivery_order_and_ledger(self, star4):
+        log_a, chan_a = self._run(star4, batched=True)
+        log_b, chan_b = self._run(star4, batched=False)
+        assert log_a == log_b
+        assert chan_a.ledger.breakdown_by_kind() == chan_b.ledger.breakdown_by_kind()
+        assert chan_a.stats == chan_b.stats
+
+    def test_same_under_loss(self, star4):
+        log_a, chan_a = self._run(star4, batched=True, loss=0.3)
+        log_b, chan_b = self._run(star4, batched=False, loss=0.3)
+        assert log_a == log_b
+        assert chan_a.stats == chan_b.stats
+
+
+class TestAddNodeAliveWiring:
+    def test_add_node_skips_dead_nodes_in_range(self, line5):
+        _, channel = make_channel(line5)
+        channel.set_alive(1, False)
+        channel.add_node(10, (5.0, 0.0))  # in range of nodes 0 and 1
+        # Node 1 is dead: the auto-wiring must not link through it, so a
+        # later resurrection cannot inherit a link the radio never formed.
+        assert not channel.graph.has_edge(10, 1)
+        assert channel.graph.has_edge(10, 0)
+        channel.set_alive(1, True)
+        assert channel.neighbors(10) == [0]
+
+    def test_add_node_explicit_neighbors_unchanged(self, line5):
+        _, channel = make_channel(line5)
+        channel.set_alive(1, False)
+        channel.add_node(10, (5.0, 0.0), neighbors=[0, 1])
+        # An explicit neighbour list is honoured verbatim.
+        assert channel.graph.has_edge(10, 1)

@@ -132,6 +132,105 @@ class TestRunUntil:
         sim.run()
 
 
+class TestCompaction:
+    """Lazy cancellation must not leak heap entries for the whole run."""
+
+    def test_queue_size_bounded_after_mass_cancellation(self, sim):
+        handles = [sim.schedule_at(float(i + 1), lambda: None) for i in range(5000)]
+        keep = handles[::1000]
+        for handle in handles:
+            if handle not in keep:
+                handle.cancel()
+        assert sim.pending == len(keep)
+        # Documented invariant: cancelled entries never dominate the heap
+        # beyond the compaction slack.
+        assert sim.queue_size <= 2 * sim.pending + Simulator.COMPACT_MIN_CANCELLED
+
+    def test_timer_rearm_pattern_stays_compacted(self, sim):
+        # The LMAC beacon pattern: every re-arm cancels the previous timer.
+        handle = sim.schedule_at(1e6, lambda: None)
+        for i in range(10_000):
+            handle.cancel()
+            handle = sim.schedule_at(1e6 + i, lambda: None)
+        assert sim.pending == 1
+        assert sim.queue_size <= 2 * sim.pending + Simulator.COMPACT_MIN_CANCELLED
+
+    def test_compaction_preserves_execution_order(self, sim):
+        fired = []
+        handles = [
+            sim.schedule_at(float(i), lambda i=i: fired.append(i)) for i in range(500)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 2 == 0:
+                handle.cancel()
+        sim.run()
+        assert fired == [i for i in range(500) if i % 2 == 1]
+
+    def test_cancelled_counter_tracks_discards(self, sim):
+        h1 = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        h1.cancel()
+        assert sim.cancelled_in_queue == 1
+        sim.run()
+        assert sim.cancelled_in_queue == 0
+        assert sim.executed == 1
+
+    def test_cancel_after_execution_does_not_corrupt_pending(self, sim):
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(max_events=1)
+        # Cancelling an already-fired event keeps the old True-return
+        # contract but must not decrement the pending counter.
+        assert handle.cancel() is True
+        assert sim.pending == 1
+
+    def test_compaction_during_run_is_safe(self, sim):
+        fired = []
+        late = [sim.schedule_at(100.0 + i, lambda: fired.append("late")) for i in range(300)]
+
+        def cancel_all():
+            fired.append("cancel")
+            for handle in late:
+                handle.cancel()
+
+        sim.schedule_at(1.0, cancel_all)
+        sim.schedule_at(2.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["cancel", "after"]
+        assert sim.pending == 0
+
+
+class TestRunUntilFastPath:
+    """run_until with nothing due must be O(1) and semantically unchanged."""
+
+    def test_fast_path_advances_clock(self, sim):
+        sim.schedule_at(50.0, lambda: None)
+        assert sim.run_until(10.0) == 0
+        assert sim.now == 10.0
+        assert sim.pending == 1
+
+    def test_boundary_event_still_runs(self, sim):
+        fired = []
+        sim.schedule_at(10.0, lambda: fired.append(1))
+        sim.run_until(10.0)
+        assert fired == [1]
+
+    def test_cancelled_head_does_not_break_fast_path(self, sim):
+        h = sim.schedule_at(5.0, lambda: None)
+        sim.schedule_at(50.0, lambda: None)
+        h.cancel()
+        assert sim.run_until(10.0) == 0
+        assert sim.now == 10.0
+        assert sim.pending == 1
+
+    def test_many_empty_drains_execute_no_events(self, sim):
+        sim.schedule_at(1e6, lambda: None)
+        for epoch in range(1000):
+            assert sim.run_until(float(epoch)) == 0
+        assert sim.executed == 0
+        assert sim.now == 999.0
+
+
 class TestIntrospection:
     def test_peek_time(self, sim):
         assert sim.peek_time() is None
