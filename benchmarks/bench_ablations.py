@@ -15,12 +15,12 @@ from repro.experiments import ablations
 from .conftest import emit
 
 
-def test_topology_adaptation(benchmark, bench_seed, bench_runner):
+def test_topology_adaptation(benchmark, bench_seed, bench_runner, bench_replicates):
     """E7: node failures mid-run; routing recovers via cross-layer adaptation."""
     result = benchmark.pedantic(
         lambda: ablations.run_topology_ablation(
             num_epochs=1_000, failure_epoch=400, seed=bench_seed,
-            runner=bench_runner,
+            runner=bench_runner, replicates=bench_replicates,
         ),
         rounds=1,
         iterations=1,
@@ -31,12 +31,12 @@ def test_topology_adaptation(benchmark, bench_seed, bench_runner):
     assert result.completeness_after > result.completeness_before - 0.1
 
 
-def test_atc_target_sweep(benchmark, bench_seed, bench_runner):
+def test_atc_target_sweep(benchmark, bench_seed, bench_runner, bench_replicates):
     """The achieved DirQ/flooding ratio follows the configured ATC target."""
     points = benchmark.pedantic(
         lambda: ablations.run_atc_target_sweep(
             targets=(0.35, 0.5, 0.65), num_epochs=1_200, seed=bench_seed,
-            runner=bench_runner,
+            runner=bench_runner, replicates=bench_replicates,
         ),
         rounds=1,
         iterations=1,
@@ -50,12 +50,12 @@ def test_atc_target_sweep(benchmark, bench_seed, bench_runner):
     assert updates[0] < updates[2]
 
 
-def test_channel_loss_sensitivity(benchmark, bench_seed, bench_runner):
+def test_channel_loss_sensitivity(benchmark, bench_seed, bench_runner, bench_replicates):
     """DirQ delivery quality degrades gracefully with packet loss."""
     points = benchmark.pedantic(
         lambda: ablations.run_loss_ablation(
             loss_rates=(0.0, 0.1, 0.2), num_epochs=600, seed=bench_seed,
-            runner=bench_runner,
+            runner=bench_runner, replicates=bench_replicates,
         ),
         rounds=1,
         iterations=1,

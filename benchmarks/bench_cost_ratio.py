@@ -14,13 +14,14 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def headline_result(bench_epochs, bench_seed, bench_runner):
+def headline_result(bench_epochs, bench_seed, bench_runner, bench_replicates):
     return headline.run(
         num_epochs=bench_epochs,
         target_coverage=0.4,
         seed=bench_seed,
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
         runner=bench_runner,
+        replicates=bench_replicates,
     )
 
 

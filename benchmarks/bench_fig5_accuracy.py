@@ -15,7 +15,7 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def fig5_result(bench_epochs, bench_seed, bench_runner):
+def fig5_result(bench_epochs, bench_seed, bench_runner, bench_replicates):
     return fig5_accuracy.run(
         deltas=(1.0, 3.0, 5.0, 9.0),
         coverages=(0.4, 0.6),
@@ -23,6 +23,7 @@ def fig5_result(bench_epochs, bench_seed, bench_runner):
         seed=bench_seed,
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
         runner=bench_runner,
+        replicates=bench_replicates,
     )
 
 

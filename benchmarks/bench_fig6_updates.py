@@ -16,7 +16,7 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def fig6_result(bench_epochs, bench_seed, bench_runner):
+def fig6_result(bench_epochs, bench_seed, bench_runner, bench_replicates):
     return fig6_updates.run(
         deltas=(3.0, 5.0, 9.0),
         num_epochs=bench_epochs,
@@ -24,6 +24,7 @@ def fig6_result(bench_epochs, bench_seed, bench_runner):
         seed=bench_seed,
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
         runner=bench_runner,
+        replicates=bench_replicates,
     )
 
 

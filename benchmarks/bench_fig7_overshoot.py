@@ -15,7 +15,7 @@ from .conftest import emit
 
 
 @pytest.fixture(scope="module")
-def fig7_result(bench_epochs, bench_seed, bench_runner):
+def fig7_result(bench_epochs, bench_seed, bench_runner, bench_replicates):
     return fig7_overshoot.run(
         deltas=(3.0, 5.0, 9.0),
         num_epochs=bench_epochs,
@@ -24,6 +24,7 @@ def fig7_result(bench_epochs, bench_seed, bench_runner):
         window_epochs=max(200, bench_epochs // 8),
         base_config=paper_network(num_epochs=bench_epochs, seed=bench_seed),
         runner=bench_runner,
+        replicates=bench_replicates,
     )
 
 

@@ -34,6 +34,12 @@ BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", str(os.cpu_count() or 
 #: without re-simulating.
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 
+#: Replicates per sweep point.  The default of 1 keeps the recorded timing
+#: anchors comparable across revisions; set ``REPRO_BENCH_REPLICATES=5`` to
+#: produce benchmark reports with confidence intervals (the sweeps then run
+#: that many times as many trials).
+BENCH_REPLICATES = int(os.environ.get("REPRO_BENCH_REPLICATES", "1"))
+
 
 @pytest.fixture(scope="session")
 def bench_epochs() -> int:
@@ -43,6 +49,11 @@ def bench_epochs() -> int:
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_replicates() -> int:
+    return BENCH_REPLICATES
 
 
 @pytest.fixture(scope="session")

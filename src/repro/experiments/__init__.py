@@ -12,7 +12,9 @@ from .batch import (
     TrialSpec,
     config_hash,
     run_sweep,
+    run_sweep_replicated,
 )
+from ..metrics.stats import ReplicateGroup, ReplicateSummary, group_replicates
 from .config import ExperimentConfig, ProtocolName, TopologyEvent, paper_defaults
 from .runner import ExperimentResult, ExperimentRunner, run_experiment
 from .scenarios import (
@@ -30,6 +32,10 @@ __all__ = [
     "TrialSpec",
     "config_hash",
     "run_sweep",
+    "run_sweep_replicated",
+    "ReplicateGroup",
+    "ReplicateSummary",
+    "group_replicates",
     "ExperimentConfig",
     "ProtocolName",
     "TopologyEvent",

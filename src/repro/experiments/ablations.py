@@ -16,12 +16,19 @@ individual mechanisms:
 from __future__ import annotations
 
 import dataclasses
+from statistics import fmean
 from typing import List, Optional, Sequence
 
 from ..metrics.accuracy import delivery_completeness, mean_overshoot
 from ..metrics.report import format_table
-from .batch import BatchRunner, TrialSpec, run_sweep
+from .batch import DEFAULT_REPLICATES, BatchRunner, TrialSpec, run_sweep, run_sweep_replicated
 from .scenarios import node_failure_scenario, paper_network
+
+#: Channel loss rates swept by default.  The 1.0 endpoint (every unicast
+#: and broadcast lost; legalised alongside the delivery-time accounting
+#: fix) pins down the floor of the curve, so the ablation covers the full
+#: [0, 1] range rather than stopping at moderate loss.
+DEFAULT_LOSS_RATES: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.5, 1.0)
 
 
 # ---------------------------------------------------------------------------
@@ -73,34 +80,39 @@ def run_topology_ablation(
     settle_epochs: int = 100,
     seed: int = 11,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> TopologyAblationResult:
     """Kill nodes mid-run and compare delivery quality before vs after.
 
     ``settle_epochs`` excludes the queries injected while LMAC is still
     detecting the deaths (its death threshold is a few beacon intervals), so
-    "after" measures the repaired steady state.
+    "after" measures the repaired steady state.  With ``replicates > 1``
+    every reported number is the mean over that many independent seeds.
     """
-    specs = topology_ablation_specs(
+    (spec,) = topology_ablation_specs(
         num_epochs=num_epochs,
         failure_epoch=failure_epoch,
         failures=failures,
         seed=seed,
     )
-    (result,) = run_sweep(specs, runner)
-    failed = [e.node_id for e in result.config.topology_events]
-    before = result.audit.records_between(0, failure_epoch - 1)
-    after = result.audit.records_between(
-        failure_epoch + settle_epochs, num_epochs
-    )
+    results = run_sweep(spec.replicates(replicates), runner)
+    failed = [e.node_id for e in results[0].config.topology_events]
+    befores = [
+        r.audit.records_between(0, failure_epoch - 1) for r in results
+    ]
+    afters = [
+        r.audit.records_between(failure_epoch + settle_epochs, num_epochs)
+        for r in results
+    ]
     return TopologyAblationResult(
         failure_epoch=failure_epoch,
         failed_nodes=failed,
-        completeness_before=delivery_completeness(before),
-        completeness_after=delivery_completeness(after),
-        overshoot_before=mean_overshoot(before),
-        overshoot_after=mean_overshoot(after),
-        queries_before=len(before),
-        queries_after=len(after),
+        completeness_before=fmean(delivery_completeness(b) for b in befores),
+        completeness_after=fmean(delivery_completeness(a) for a in afters),
+        overshoot_before=fmean(mean_overshoot(b) for b in befores),
+        overshoot_after=fmean(mean_overshoot(a) for a in afters),
+        queries_before=round(fmean(len(b) for b in befores)),
+        queries_after=round(fmean(len(a) for a in afters)),
     )
 
 
@@ -120,7 +132,7 @@ class LossPoint:
 
 
 def loss_ablation_specs(
-    loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
     num_epochs: int = 800,
     seed: int = 5,
 ) -> List[TrialSpec]:
@@ -138,27 +150,29 @@ def loss_ablation_specs(
 
 
 def run_loss_ablation(
-    loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
     num_epochs: int = 800,
     seed: int = 5,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> List[LossPoint]:
-    """Evaluate DirQ (ATC) under increasing packet loss."""
+    """Evaluate DirQ (ATC) under increasing packet loss.
+
+    With ``replicates > 1`` every point is the mean over that many
+    independent seeds (one replicate group per loss rate).
+    """
     specs = loss_ablation_specs(
         loss_rates=loss_rates, num_epochs=num_epochs, seed=seed
     )
-    points: List[LossPoint] = []
-    for result in run_sweep(specs, runner):
-        records = result.audit.records
-        points.append(
-            LossPoint(
-                loss_probability=result.spec.tags["loss"],
-                completeness=delivery_completeness(records),
-                overshoot=mean_overshoot(records),
-                cost_ratio=result.cost_ratio,
-            )
+    return [
+        LossPoint(
+            loss_probability=group.tags["loss"],
+            completeness=group.metrics["source_completeness"].mean,
+            overshoot=group.metrics["mean_overshoot_pp"].mean,
+            cost_ratio=group.metrics["cost_ratio"].mean,
         )
-    return points
+        for group in run_sweep_replicated(specs, runner, replicates)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -199,23 +213,23 @@ def run_atc_target_sweep(
     num_epochs: int = 1_500,
     seed: int = 3,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> List[AtcTargetPoint]:
-    """Sweep the ATC's cost-ratio target and record what it achieves."""
+    """Sweep the ATC's cost-ratio target and record what it achieves.
+
+    With ``replicates > 1`` every point is the mean over that many
+    independent seeds (one replicate group per target).
+    """
     specs = atc_target_specs(targets=targets, num_epochs=num_epochs, seed=seed)
-    points: List[AtcTargetPoint] = []
-    for result in run_sweep(specs, runner):
-        updates = result.updates_per_window()
-        points.append(
-            AtcTargetPoint(
-                target_ratio=result.spec.tags["target"],
-                achieved_ratio=result.cost_ratio,
-                overshoot=mean_overshoot(result.audit.records),
-                mean_updates_per_window=(
-                    sum(updates) / len(updates) if updates else 0.0
-                ),
-            )
+    return [
+        AtcTargetPoint(
+            target_ratio=group.tags["target"],
+            achieved_ratio=group.metrics["cost_ratio"].mean,
+            overshoot=group.metrics["mean_overshoot_pp"].mean,
+            mean_updates_per_window=group.metrics["updates_per_window"].mean,
         )
-    return points
+        for group in run_sweep_replicated(specs, runner, replicates)
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -18,12 +18,27 @@ adds the campaign layer on top of it:
   optionally caches results on disk keyed by :func:`config_hash`, so
   re-running a sweep only executes the missing trials.
 
-Determinism: every trial builds its own :class:`~repro.simulation.rng.
-RandomStreams` from its config's seed, and the worker deep-copies the
-config before running, so a trial's result depends only on its declared
-configuration -- never on worker count, execution order, or leftover
-mutations from sibling trials.  :meth:`TrialResult.fingerprint` condenses
-the deterministic payload into a hash for bit-exactness assertions.
+Determinism contract
+--------------------
+Every trial builds its own :class:`~repro.simulation.rng.RandomStreams`
+from its config's seed, and the worker deep-copies the config before
+running, so a trial's result depends only on its declared configuration --
+never on worker count, execution order, or leftover mutations from sibling
+trials.  :meth:`TrialResult.fingerprint` condenses the deterministic
+payload into a hash for bit-exactness assertions.  Replications
+(:meth:`TrialSpec.replicates`) derive their seeds with
+:meth:`RandomStreams.derive_seed`, so replicate ``i`` of a spec is itself a
+pure function of the base config; replicate 0 keeps the base seed, which is
+what lets cached single trials compose into replicate groups.
+
+Cache versioning
+----------------
+Cached results are only trusted when their recorded :data:`CACHE_VERSION`
+matches the module's.  The constant must be bumped whenever the on-disk
+payload layout *or the simulation semantics* change (e.g. v2: reception
+energy charged at delivery rather than transmission), because a cache entry
+is a claim that "this config, simulated today, would produce exactly this
+result" -- stale-version entries are silently re-executed, never migrated.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from ..energy.ledger import NetworkLedger
 from ..metrics.accuracy import mean_accuracy, mean_overshoot
+from ..metrics.stats import DEFAULT_CONFIDENCE, group_replicates
 from ..metrics.audit import QueryAudit, QueryRecord
 from ..metrics.cost import CostBreakdown
 from ..metrics.series import WindowPoint
@@ -57,6 +73,10 @@ from .runner import ExperimentResult, run_experiment
 
 #: Environment variable providing a default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Replicates per sweep point for the figure reproductions (shared by the
+#: figure modules and :meth:`BatchRunner.run_replicated`).
+DEFAULT_REPLICATES = 5
 
 #: Bumped whenever the on-disk format or the simulation semantics change in
 #: a way that invalidates cached results.  v2: reception energy is charged
@@ -132,22 +152,37 @@ class TrialSpec:
     def replicates(self, count: int) -> List["TrialSpec"]:
         """Derive ``count`` replications with independent seeds.
 
-        Seeds come from :meth:`RandomStreams.derive_seed`, so replication
-        ``i`` of a spec is reproducible from the spec alone.
+        Replicate 0 **is** the base configuration (same seed, hence the same
+        :attr:`key`), so a trial cached by an earlier un-replicated run is
+        reused when the sweep is later replicated; replicates 1..count-1 get
+        independent seeds from :meth:`RandomStreams.derive_seed` and are
+        reproducible from the spec alone.  Every derived spec is stamped
+        with ``base_key`` / ``base_label`` / ``replicate`` tags, which is
+        what :func:`repro.metrics.stats.group_replicates` folds groups by.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
-        return [
-            TrialSpec(
-                label=f"{self.label} rep={i}",
-                config=self.config.replace(
-                    seed=RandomStreams.derive_seed(self.config.seed, f"rep-{i}")
-                ),
-                group=self.group,
-                tags={**self.tags, "replicate": i},
+        specs = []
+        for i in range(count):
+            seed = (
+                self.config.seed
+                if i == 0
+                else RandomStreams.derive_seed(self.config.seed, f"rep-{i}")
             )
-            for i in range(count)
-        ]
+            specs.append(
+                TrialSpec(
+                    label=self.label if i == 0 else f"{self.label} rep={i}",
+                    config=self.config.replace(seed=seed),
+                    group=self.group,
+                    tags={
+                        **self.tags,
+                        "replicate": i,
+                        "base_key": self.key,
+                        "base_label": self.label,
+                    },
+                )
+            )
+        return specs
 
 
 @dataclasses.dataclass
@@ -440,6 +475,33 @@ class BatchRunner:
             out.append(result)
         return out
 
+    def run_replicated(
+        self,
+        specs,
+        n: int = DEFAULT_REPLICATES,
+        metrics=None,
+        confidence: float = DEFAULT_CONFIDENCE,
+        progress: Optional[Callable[[TrialResult], None]] = None,
+    ):
+        """Run every spec ``n`` times and return one replicate group per spec.
+
+        ``specs`` is a :class:`TrialSpec` or an iterable of them.  Each spec
+        expands via :meth:`TrialSpec.replicates` (replicate 0 is the base
+        configuration, so previously-cached single trials compose into their
+        group without re-running), the expanded sweep executes through
+        :meth:`run` (deduplication, caching, and worker fan-out included),
+        and the results fold into :class:`~repro.metrics.stats.
+        ReplicateGroup` objects carrying a
+        :class:`~repro.metrics.stats.ReplicateSummary` per scalar metric and
+        per-group cache-hit accounting (``group.cache_hits`` /
+        ``group.executed``).  :attr:`last_stats` reflects the expanded run.
+        """
+        if isinstance(specs, TrialSpec):
+            specs = [specs]
+        expanded = [rep for spec in specs for rep in spec.replicates(n)]
+        results = self.run(expanded, progress=progress)
+        return group_replicates(results, metrics=metrics, confidence=confidence)
+
     def run_map(self, specs: Iterable[TrialSpec]) -> Dict[str, TrialResult]:
         """Execute a sweep and return results keyed by spec label."""
         spec_list = list(specs)
@@ -509,3 +571,19 @@ def run_sweep_map(
 ) -> Dict[str, TrialResult]:
     """Like :func:`run_sweep` but keyed by spec label (labels must be unique)."""
     return (runner if runner is not None else BatchRunner()).run_map(specs)
+
+
+def run_sweep_replicated(
+    specs: Iterable[TrialSpec],
+    runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
+):
+    """Run ``specs`` with ``replicates`` seeds each; one group per spec.
+
+    The shared front door for the figure modules: expansion, execution, and
+    grouping all happen in :meth:`BatchRunner.run_replicated`, so every
+    figure inherits identical replication semantics.
+    """
+    return (runner if runner is not None else BatchRunner()).run_replicated(
+        specs, n=replicates
+    )

@@ -17,13 +17,17 @@ through a :class:`~repro.experiments.batch.BatchRunner` and returns one
 from __future__ import annotations
 
 import dataclasses
+import json
+from statistics import fmean
 from typing import Dict, List, Optional, Sequence
 
-from ..metrics.accuracy import Fig5Point, delivery_completeness, fig5_percentages
-from ..metrics.report import format_table
-from .batch import BatchRunner, TrialSpec, run_sweep
+from ..metrics.accuracy import Fig5Point, fig5_percentages
+from ..metrics.report import format_replicate_table, format_table
+from ..metrics.stats import ReplicateGroup, groups_to_jsonable
+from .batch import DEFAULT_REPLICATES, BatchRunner, TrialSpec, run_sweep_replicated
 from .config import ExperimentConfig
 from .scenarios import paper_network
+
 
 #: Thresholds evaluated by default.  The paper sweeps 1-9 %; the highlighted
 #: values in its Figs. 6-7 are 3, 5 and 9 %.
@@ -35,12 +39,20 @@ DEFAULT_COVERAGES: Sequence[float] = (0.4, 0.6)
 
 @dataclasses.dataclass(frozen=True)
 class Fig5Result:
-    """All points of the Fig. 5 reproduction plus completeness diagnostics."""
+    """All points of the Fig. 5 reproduction plus completeness diagnostics.
+
+    With ``replicates > 1`` every point is a per-field mean over the
+    replicate group and :attr:`stats` carries one
+    :class:`~repro.metrics.stats.ReplicateGroup` per (δ, coverage) point
+    with confidence intervals for the scalar metrics.
+    """
 
     points: List[Fig5Point]
     completeness: Dict[tuple, float]
     num_epochs: int
     num_nodes: int
+    stats: Optional[List[ReplicateGroup]] = None
+    replicates: int = 1
 
     def points_for(self, coverage: float) -> List[Fig5Point]:
         return sorted(
@@ -50,6 +62,22 @@ class Fig5Result:
 
     def coverages(self) -> List[float]:
         return sorted({p.target_coverage for p in self.points})
+
+    def to_json(self) -> str:
+        """Machine-readable export: points, completeness, replicate stats."""
+        payload = {
+            "figure": "fig5",
+            "num_epochs": self.num_epochs,
+            "num_nodes": self.num_nodes,
+            "replicates": self.replicates,
+            "points": [dataclasses.asdict(p) for p in self.points],
+            "completeness": {
+                f"delta={delta:g}/coverage={coverage:g}": value
+                for (delta, coverage), value in sorted(self.completeness.items())
+            },
+            "groups": groups_to_jsonable(self.stats or []),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
 
 
 def sweep_specs(
@@ -70,6 +98,20 @@ def sweep_specs(
     ]
 
 
+def _mean_fig5_point(points: Sequence[Fig5Point]) -> Fig5Point:
+    """Field-wise mean of one point's replicates (δ/coverage are shared)."""
+    return Fig5Point(
+        delta_percent=points[0].delta_percent,
+        target_coverage=points[0].target_coverage,
+        should_receive_pct=fmean(p.should_receive_pct for p in points),
+        receive_pct=fmean(p.receive_pct for p in points),
+        source_pct=fmean(p.source_pct for p in points),
+        should_not_receive_pct=fmean(p.should_not_receive_pct for p in points),
+        mean_overshoot_pct=fmean(p.mean_overshoot_pct for p in points),
+        num_queries=round(fmean(p.num_queries for p in points)),
+    )
+
+
 def run(
     deltas: Sequence[float] = DEFAULT_DELTAS,
     coverages: Sequence[float] = DEFAULT_COVERAGES,
@@ -77,6 +119,7 @@ def run(
     seed: int = 1,
     base_config: Optional[ExperimentConfig] = None,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> Fig5Result:
     """Run the Fig. 5 sweep.
 
@@ -97,6 +140,11 @@ def run(
     runner:
         Batch runner executing the sweep; a default (process-parallel,
         cache per ``REPRO_CACHE_DIR``) one is created if omitted.
+    replicates:
+        Independent seeds per sweep point.  Reported points are replicate
+        means and :attr:`Fig5Result.stats` carries per-point confidence
+        intervals; ``replicates=1`` reproduces the single-trial behaviour
+        (and cache keys) of earlier revisions exactly.
     """
     base = (
         base_config
@@ -106,21 +154,28 @@ def run(
     base = base.replace(num_epochs=num_epochs, seed=seed)
     num_nodes = base.num_nodes
     specs = sweep_specs(base, deltas=deltas, coverages=coverages)
-    results = run_sweep(specs, runner)
+    groups = run_sweep_replicated(specs, runner, replicates)
 
     points: List[Fig5Point] = []
     completeness: Dict[tuple, float] = {}
-    for result in results:
-        delta = result.spec.tags["delta"]
-        coverage = result.spec.tags["coverage"]
-        records = result.audit.records
-        points.append(fig5_percentages(records, num_nodes - 1, delta, coverage))
-        completeness[(delta, coverage)] = delivery_completeness(records)
+    for group in groups:
+        delta = group.tags["delta"]
+        coverage = group.tags["coverage"]
+        rep_points = [
+            fig5_percentages(r.audit.records, num_nodes - 1, delta, coverage)
+            for r in group.results
+        ]
+        points.append(_mean_fig5_point(rep_points))
+        completeness[(delta, coverage)] = group.metrics[
+            "source_completeness"
+        ].mean
     return Fig5Result(
         points=points,
         completeness=completeness,
         num_epochs=num_epochs,
         num_nodes=num_nodes,
+        stats=groups,
+        replicates=replicates,
     )
 
 
@@ -155,6 +210,16 @@ def report(result: Fig5Result) -> str:
                 title=(
                     f"Fig. 5 -- percentage of relevant nodes = {int(coverage * 100)}% "
                     f"({result.num_nodes} nodes, {result.num_epochs} epochs)"
+                ),
+            )
+        )
+    if result.stats and result.replicates > 1:
+        sections.append(
+            format_replicate_table(
+                result.stats,
+                title=(
+                    f"Fig. 5 replication statistics "
+                    f"(95% CI over n={result.replicates} seeds)"
                 ),
             )
         )

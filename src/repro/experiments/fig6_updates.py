@@ -19,13 +19,15 @@ per threshold setting; ``run()`` executes them through a
 from __future__ import annotations
 
 import dataclasses
+import json
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from ..core.analytical import update_budget_per_hour
-from ..metrics.report import format_series, format_table
-from ..metrics.series import SeriesSet
-from .batch import BatchRunner, TrialResult, TrialSpec, run_sweep_map
+from ..metrics.report import format_replicate_table, format_series, format_table
+from ..metrics.series import SeriesSet, WindowPoint
+from ..metrics.stats import ReplicateGroup, groups_to_jsonable, mean_series
+from .batch import DEFAULT_REPLICATES, BatchRunner, TrialResult, TrialSpec, run_sweep_replicated
 from .config import ExperimentConfig
 from .scenarios import paper_network
 
@@ -42,6 +44,28 @@ class Fig6Result:
     mean_updates: Dict[str, float]
     window_epochs: int
     umax_per_window: float
+    stats: Optional[List[ReplicateGroup]] = None
+    replicates: int = 1
+
+    def to_json(self) -> str:
+        """Machine-readable export: series, references, replicate stats."""
+        payload = {
+            "figure": "fig6",
+            "window_epochs": self.window_epochs,
+            "umax_per_window": self.umax_per_window,
+            "replicates": self.replicates,
+            "series": {
+                name: [
+                    (p.window_start, p.value) for p in self.series.series[name]
+                ]
+                for name in self.series.names()
+            },
+            "references": dict(sorted(self.series.references.items())),
+            "cost_ratios": dict(sorted(self.cost_ratios.items())),
+            "mean_updates": dict(sorted(self.mean_updates.items())),
+            "groups": groups_to_jsonable(self.stats or []),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
 
     def atc_band_occupancy(self, skip_windows: int = 2) -> float:
         """Fraction of (post-transient) ATC windows inside the 0.45-0.55 band."""
@@ -85,8 +109,16 @@ def run(
     include_atc: bool = True,
     base_config: Optional[ExperimentConfig] = None,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> Fig6Result:
-    """Run the Fig. 6 sweep (one simulation per threshold setting)."""
+    """Run the Fig. 6 sweep (one simulation per threshold setting).
+
+    With ``replicates > 1`` each setting runs on ``replicates`` independent
+    seeds: the reported series is the per-window mean over the replicate
+    group, scalar rows are replicate means, and :attr:`Fig6Result.stats`
+    carries the confidence intervals.  ``replicates=1`` reproduces the
+    single-trial behaviour (and cache keys) of earlier revisions exactly.
+    """
     base = (
         base_config
         if base_config is not None
@@ -97,20 +129,29 @@ def run(
     )
 
     specs = sweep_specs(base, deltas=deltas, include_atc=include_atc)
-    results = run_sweep_map(specs, runner)
+    groups = run_sweep_replicated(specs, runner, replicates)
 
     series = SeriesSet(window_epochs=base.window_epochs)
     cost_ratios: Dict[str, float] = {}
     mean_updates: Dict[str, float] = {}
     umax_per_window = 0.0
 
-    for label, result in results.items():
-        series.add_series(label, result.update_series)
-        cost_ratios[label] = result.cost_ratio
-        values = result.updates_per_window()
-        mean_updates[label] = float(mean(values)) if values else 0.0
+    for group in groups:
+        label = group.label
+        starts = [p.window_start for p in group.results[0].update_series]
+        values = mean_series(
+            [[p.value for p in r.update_series] for r in group.results]
+        )
+        series.add_series(
+            label,
+            [WindowPoint(window_start=s, value=v) for s, v in zip(starts, values)],
+        )
+        cost_ratios[label] = group.metrics["cost_ratio"].mean
+        mean_updates[label] = group.metrics["updates_per_window"].mean
         if umax_per_window == 0.0:
-            umax_per_window = _umax_per_window(result, base)
+            umax_per_window = float(
+                mean(_umax_per_window(r, base) for r in group.results)
+            )
 
     series.add_reference("Umax/window", umax_per_window)
     series.add_reference("0.55*Umax", 0.55 * umax_per_window)
@@ -121,6 +162,8 @@ def run(
         mean_updates=mean_updates,
         window_epochs=base.window_epochs,
         umax_per_window=umax_per_window,
+        stats=groups,
+        replicates=replicates,
     )
 
 
@@ -175,6 +218,17 @@ def report(result: Fig6Result) -> str:
         lines.append(
             "ATC windows inside the 0.45-0.55 U_max band "
             f"(after transient): {result.atc_band_occupancy():.0%}"
+        )
+    if result.stats and result.replicates > 1:
+        lines.append("")
+        lines.append(
+            format_replicate_table(
+                result.stats,
+                title=(
+                    f"Fig. 6 replication statistics "
+                    f"(95% CI over n={result.replicates} seeds)"
+                ),
+            )
         )
     return "\n".join(lines)
 

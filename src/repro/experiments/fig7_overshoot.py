@@ -11,11 +11,13 @@ bounded and below the largest fixed threshold it is willing to use.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..metrics.accuracy import mean_overshoot, overshoot_series
-from ..metrics.report import format_series, format_table
-from .batch import BatchRunner, TrialSpec, run_sweep_map
+from ..metrics.accuracy import overshoot_series
+from ..metrics.report import format_replicate_table, format_series, format_table
+from ..metrics.stats import ReplicateGroup, groups_to_jsonable, mean_series
+from .batch import DEFAULT_REPLICATES, BatchRunner, TrialSpec, run_sweep_replicated
 from .config import ExperimentConfig
 from .scenarios import paper_network
 
@@ -32,9 +34,25 @@ class Fig7Result:
     cost_ratios: Dict[str, float]
     window_epochs: int
     target_coverage: float
+    stats: Optional[List[ReplicateGroup]] = None
+    replicates: int = 1
 
     def names(self) -> List[str]:
         return sorted(self.series)
+
+    def to_json(self) -> str:
+        """Machine-readable export: series, averages, replicate stats."""
+        payload = {
+            "figure": "fig7",
+            "window_epochs": self.window_epochs,
+            "target_coverage": self.target_coverage,
+            "replicates": self.replicates,
+            "series": {name: self.series[name] for name in self.names()},
+            "average_overshoot": dict(sorted(self.average_overshoot.items())),
+            "cost_ratios": dict(sorted(self.cost_ratios.items())),
+            "groups": groups_to_jsonable(self.stats or []),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
 
 
 def sweep_specs(
@@ -70,12 +88,19 @@ def run(
     window_epochs: int = 400,
     base_config: Optional[ExperimentConfig] = None,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> Fig7Result:
     """Run the Fig. 7 sweep (one simulation per threshold setting).
 
     ``window_epochs`` controls the averaging window of the reported series;
     the paper smooths visually over a few hundred epochs, and with one query
     every 20 epochs a 400-epoch window averages 20 queries per point.
+
+    With ``replicates > 1`` each setting runs on ``replicates`` independent
+    seeds: the reported series is the per-window replicate mean, averages
+    are replicate means, and :attr:`Fig7Result.stats` carries confidence
+    intervals.  ``replicates=1`` reproduces the single-trial behaviour (and
+    cache keys) of earlier revisions exactly.
     """
     base = (
         base_config
@@ -87,22 +112,30 @@ def run(
     )
 
     specs = sweep_specs(base, deltas=deltas, include_atc=include_atc)
-    results = run_sweep_map(specs, runner)
+    groups = run_sweep_replicated(specs, runner, replicates)
 
     series: Dict[str, List[Tuple[int, float]]] = {}
     averages: Dict[str, float] = {}
     ratios: Dict[str, float] = {}
-    for label, result in results.items():
-        records = result.audit.records
-        series[label] = overshoot_series(records, window_epochs, num_epochs)
-        averages[label] = mean_overshoot(records)
-        ratios[label] = result.cost_ratio
+    for group in groups:
+        label = group.label
+        rep_series = [
+            overshoot_series(r.audit.records, window_epochs, num_epochs)
+            for r in group.results
+        ]
+        windows = [w for w, _ in rep_series[0]]
+        values = mean_series([[v for _, v in s] for s in rep_series])
+        series[label] = list(zip(windows, values))
+        averages[label] = group.metrics["mean_overshoot_pp"].mean
+        ratios[label] = group.metrics["cost_ratio"].mean
     return Fig7Result(
         series=series,
         average_overshoot=averages,
         cost_ratios=ratios,
         window_epochs=window_epochs,
         target_coverage=target_coverage,
+        stats=groups,
+        replicates=replicates,
     )
 
 
@@ -134,6 +167,17 @@ def report(result: Fig7Result) -> str:
             title="Averages (paper: ATC average overshoot ~3.6%)",
         )
     )
+    if result.stats and result.replicates > 1:
+        lines.append("")
+        lines.append(
+            format_replicate_table(
+                result.stats,
+                title=(
+                    f"Fig. 7 replication statistics "
+                    f"(95% CI over n={result.replicates} seeds)"
+                ),
+            )
+        )
     return "\n".join(lines)
 
 

@@ -10,14 +10,14 @@ their total costs and accuracy.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import json
+from statistics import fmean
+from typing import List, Optional
 
-from typing import List
-
-from ..metrics.accuracy import delivery_completeness, mean_overshoot
 from ..metrics.cost import CostComparison, compare_costs
-from ..metrics.report import format_key_values
-from .batch import BatchRunner, TrialResult, TrialSpec, run_sweep_map
+from ..metrics.report import format_key_values, format_replicate_table
+from ..metrics.stats import ReplicateGroup, groups_to_jsonable
+from .batch import DEFAULT_REPLICATES, BatchRunner, TrialResult, TrialSpec, run_sweep_replicated
 from .config import ExperimentConfig
 from .scenarios import paper_network
 
@@ -27,17 +27,39 @@ FLOODING_LABEL = "flooding"
 
 @dataclasses.dataclass(frozen=True)
 class HeadlineResult:
-    """DirQ-vs-flooding comparison on an identical workload."""
+    """DirQ-vs-flooding comparison on an identical workload.
+
+    With ``replicates > 1`` the comparison aggregates per-replicate
+    comparisons (replicate ``i`` of DirQ and of flooding share the same
+    derived seed, hence the same workload); :attr:`dirq` / :attr:`flooding`
+    hold replicate 0 (the base seed) and :attr:`stats` the per-protocol
+    confidence intervals.
+    """
 
     dirq: TrialResult
     flooding: TrialResult
     comparison: CostComparison
     dirq_overshoot_pp: float
     dirq_completeness: float
+    stats: Optional[List[ReplicateGroup]] = None
+    replicates: int = 1
 
     @property
     def cost_ratio(self) -> float:
         return self.comparison.ratio
+
+    def to_json(self) -> str:
+        """Machine-readable export of the comparison plus replicate stats."""
+        payload = {
+            "figure": "headline",
+            "replicates": self.replicates,
+            "comparison": dataclasses.asdict(self.comparison),
+            "dirq_overshoot_pp": self.dirq_overshoot_pp,
+            "dirq_completeness": self.dirq_completeness,
+            "within_band": self.comparison.within_band(),
+            "groups": groups_to_jsonable(self.stats or []),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
 
 
 def sweep_specs(base: ExperimentConfig) -> List[TrialSpec]:
@@ -56,8 +78,16 @@ def run(
     seed: int = 1,
     base_config: Optional[ExperimentConfig] = None,
     runner: Optional[BatchRunner] = None,
+    replicates: int = DEFAULT_REPLICATES,
 ) -> HeadlineResult:
-    """Run DirQ (ATC) and flooding on the same workload and compare costs."""
+    """Run DirQ (ATC) and flooding on the same workload and compare costs.
+
+    With ``replicates > 1``, replicate ``i`` of both protocols shares one
+    derived seed (one workload), the reported comparison averages the
+    per-replicate comparisons, and :attr:`HeadlineResult.stats` carries the
+    confidence intervals.  ``replicates=1`` reproduces the single-trial
+    behaviour (and cache keys) of earlier revisions exactly.
+    """
     base = (
         base_config
         if base_config is not None
@@ -66,43 +96,89 @@ def run(
     base = base.replace(
         num_epochs=num_epochs, seed=seed, target_coverage=target_coverage
     )
-    results = run_sweep_map(sweep_specs(base), runner)
-    dirq_result = results[DIRQ_LABEL]
-    flooding_result = results[FLOODING_LABEL]
-    comparison = compare_costs(
-        dirq_ledger=dirq_result.ledger,
-        flooding_reference=flooding_result.breakdown.flood_cost,
-        num_queries=flooding_result.num_queries,
-        flooding_is_total=True,
+    groups = run_sweep_replicated(sweep_specs(base), runner, replicates)
+    by_label = {g.label: g for g in groups}
+    dirq_group = by_label[DIRQ_LABEL]
+    flooding_group = by_label[FLOODING_LABEL]
+
+    comparisons = [
+        compare_costs(
+            dirq_ledger=d.ledger,
+            flooding_reference=f.breakdown.flood_cost,
+            num_queries=f.num_queries,
+            flooding_is_total=True,
+        )
+        for d, f in zip(dirq_group.results, flooding_group.results)
+    ]
+    comparison = CostComparison(
+        dirq_total=fmean(c.dirq_total for c in comparisons),
+        flooding_total=fmean(c.flooding_total for c in comparisons),
+        num_queries=round(fmean(c.num_queries for c in comparisons)),
+        dirq_per_query=fmean(c.dirq_per_query for c in comparisons),
+        flooding_per_query=fmean(c.flooding_per_query for c in comparisons),
+        ratio=fmean(c.ratio for c in comparisons),
     )
     return HeadlineResult(
-        dirq=dirq_result,
-        flooding=flooding_result,
+        dirq=dirq_group.results[0],
+        flooding=flooding_group.results[0],
         comparison=comparison,
-        dirq_overshoot_pp=mean_overshoot(dirq_result.audit.records),
-        dirq_completeness=delivery_completeness(dirq_result.audit.records),
+        dirq_overshoot_pp=dirq_group.metrics["mean_overshoot_pp"].mean,
+        dirq_completeness=dirq_group.metrics["source_completeness"].mean,
+        stats=groups,
+        replicates=replicates,
     )
 
 
 def report(result: HeadlineResult) -> str:
-    """Render the headline comparison as text."""
-    breakdown = result.dirq.breakdown
-    return format_key_values(
+    """Render the headline comparison as text.
+
+    Every printed number is a replicate mean, so the breakdown rows sum to
+    the printed DirQ total.  The ratio is the mean of per-replicate (paired
+    same-workload) ratios, which is why it is labelled as such rather than
+    being the quotient of the two printed totals.
+    """
+    if result.stats is not None:
+        dirq_results = next(
+            g.results for g in result.stats if g.label == DIRQ_LABEL
+        )
+        query_cost = fmean(r.breakdown.query_cost for r in dirq_results)
+        update_cost = fmean(r.breakdown.update_cost for r in dirq_results)
+        estimate_cost = fmean(r.breakdown.estimate_cost for r in dirq_results)
+    else:
+        breakdown = result.dirq.breakdown
+        query_cost = breakdown.query_cost
+        update_cost = breakdown.update_cost
+        estimate_cost = breakdown.estimate_cost
+    ratio_label = (
+        "DirQ / flooding ratio (mean of paired per-replicate ratios)"
+        if result.replicates > 1
+        else "DirQ / flooding ratio"
+    )
+    text = format_key_values(
         "Headline: DirQ (ATC) vs flooding on the same workload "
         "(paper: DirQ costs 45-55% of flooding)",
         [
             ("queries", result.comparison.num_queries),
             ("flooding total cost", result.comparison.flooding_total),
             ("DirQ total cost", result.comparison.dirq_total),
-            ("  query dissemination", breakdown.query_cost),
-            ("  range updates", breakdown.update_cost),
-            ("  EHr estimates", breakdown.estimate_cost),
-            ("DirQ / flooding ratio", result.comparison.ratio),
+            ("  query dissemination", query_cost),
+            ("  range updates", update_cost),
+            ("  EHr estimates", estimate_cost),
+            (ratio_label, result.comparison.ratio),
             ("within 45-55% band", result.comparison.within_band()),
             ("DirQ mean overshoot (pp)", result.dirq_overshoot_pp),
             ("DirQ source completeness", result.dirq_completeness),
         ],
     )
+    if result.stats and result.replicates > 1:
+        text += "\n\n" + format_replicate_table(
+            result.stats,
+            title=(
+                f"Headline replication statistics "
+                f"(95% CI over n={result.replicates} seeds)"
+            ),
+        )
+    return text
 
 
 def main(num_epochs: int = 3_000) -> str:  # pragma: no cover - script entry

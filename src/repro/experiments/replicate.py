@@ -1,0 +1,189 @@
+"""Replicated figure sweeps from the command line, with CIs and JSON export.
+
+``python -m repro.experiments.replicate --figure fig5 --replicates 10`` runs
+the selected figure's sweep with N independent seeds per point through a
+:class:`~repro.experiments.batch.BatchRunner`, prints one
+``mean ± half-width [n=N]`` cell per scalar metric and sweep point, and
+writes a machine-readable JSON export next to the working directory.
+
+Replicate 0 of every point is the base configuration, so the sweep composes
+with previously cached single trials; re-running the command against the
+same cache executes zero trials and produces a bit-identical table and JSON
+file, at any worker count (``--require-cached`` turns that invariant into
+an exit code for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..metrics.report import format_replicate_table
+from ..metrics.stats import DEFAULT_CONFIDENCE, groups_to_json
+from . import ablations, fig5_accuracy, fig6_updates, fig7_overshoot, headline
+from .batch import CACHE_ENV_VAR, BatchRunner, TrialSpec
+from .scenarios import paper_network, smoke_sweep
+
+#: Figures the CLI can replicate.
+FIGURES = ("fig5", "fig6", "fig7", "headline", "ablations", "smoke")
+
+#: Default epochs per trial -- deliberately shorter than the paper's 20 000
+#: so the default invocation finishes in seconds per worker; pass
+#: ``--epochs 20000`` for paper-length runs.
+DEFAULT_EPOCHS = 600
+
+
+def specs_for(figure: str, epochs: int, seed: int) -> Tuple[List[TrialSpec], str]:
+    """The sweep behind ``figure``, plus a human-readable title."""
+    if figure == "smoke":
+        return (
+            smoke_sweep(num_epochs=epochs, seed=seed),
+            f"smoke sweep ({epochs} epochs)",
+        )
+    base = paper_network(num_epochs=epochs, seed=seed)
+    if figure == "fig5":
+        return (
+            fig5_accuracy.sweep_specs(base),
+            f"Fig. 5 accuracy sweep ({epochs} epochs)",
+        )
+    if figure == "fig6":
+        return (
+            fig6_updates.sweep_specs(base.replace(target_coverage=0.4)),
+            f"Fig. 6 update-rate sweep ({epochs} epochs)",
+        )
+    if figure == "fig7":
+        return (
+            fig7_overshoot.sweep_specs(base.replace(target_coverage=0.2)),
+            f"Fig. 7 overshoot sweep ({epochs} epochs)",
+        )
+    if figure == "headline":
+        return (
+            headline.sweep_specs(base),
+            f"headline DirQ-vs-flooding comparison ({epochs} epochs)",
+        )
+    if figure == "ablations":
+        return (
+            ablations.loss_ablation_specs(num_epochs=epochs, seed=seed)
+            + ablations.atc_target_specs(num_epochs=epochs, seed=seed),
+            f"channel-loss + ATC-target ablations ({epochs} epochs)",
+        )
+    raise ValueError(f"unknown figure {figure!r} (choose from {FIGURES})")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Run a figure sweep with N replicates per point and report "
+            f"means with {DEFAULT_CONFIDENCE:.0%} Student-t confidence "
+            "intervals."
+        )
+    )
+    parser.add_argument(
+        "--figure",
+        required=True,
+        choices=FIGURES,
+        help="which sweep to replicate",
+    )
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=5,
+        help="independent seeds per sweep point (default: 5)",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=DEFAULT_EPOCHS,
+        help=f"epochs per trial (default: {DEFAULT_EPOCHS}; paper: 20000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="base master seed (default: 1)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "result cache directory (default: $REPRO_CACHE_DIR or "
+            ".repro-cache); re-runs are then served entirely from cache"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="JSON export path (default: <figure>-replicates.json)",
+    )
+    parser.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="exit non-zero unless the sweep executed zero trials (CI check)",
+    )
+    args = parser.parse_args(argv)
+    if args.replicates < 1:
+        parser.error("--replicates must be >= 1")
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_ENV_VAR) or ".repro-cache"
+
+    specs, title = specs_for(args.figure, epochs=args.epochs, seed=args.seed)
+    runner = BatchRunner(max_workers=args.workers, cache_dir=cache_dir)
+    groups = runner.run_replicated(
+        specs, n=args.replicates, confidence=DEFAULT_CONFIDENCE
+    )
+    stats = runner.last_stats
+
+    print(
+        f"replicate sweep: {title} | {len(specs)} points x "
+        f"{args.replicates} replicates = {stats.total} trials | "
+        f"executed {stats.executed}, cached {stats.cached}, "
+        f"deduplicated {stats.deduplicated} | workers {stats.workers} | "
+        f"wall {stats.runtime_seconds:.2f}s"
+    )
+    print()
+    print(
+        format_replicate_table(
+            groups,
+            title=(
+                f"{args.figure}: mean ± {DEFAULT_CONFIDENCE:.0%} CI "
+                f"half-width over n={args.replicates} seeds"
+            ),
+        )
+    )
+
+    json_path = Path(args.json_path or f"{args.figure}-replicates.json")
+    json_path.write_text(
+        groups_to_json(
+            groups,
+            figure=args.figure,
+            replicates=args.replicates,
+            epochs=args.epochs,
+            seed=args.seed,
+            confidence=DEFAULT_CONFIDENCE,
+        )
+        + "\n"
+    )
+    print()
+    print(f"JSON export written to {json_path}")
+
+    if args.require_cached and stats.executed != 0:
+        print(
+            f"FAIL: --require-cached but {stats.executed} trials executed "
+            "(expected 0)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Metrics: query audit, accuracy/overshoot, cost comparison, windowed series."""
+"""Metrics: audit, accuracy/overshoot, costs, windowed series, replication stats."""
 
 from .accuracy import (
     Fig5Point,
@@ -20,8 +20,24 @@ from .cost import (
     flooding_cost_measured,
     per_node_cost_share,
 )
-from .report import format_key_values, format_series, format_table
+from .report import (
+    format_key_values,
+    format_mean_ci,
+    format_replicate_table,
+    format_series,
+    format_table,
+)
 from .series import SeriesSet, UpdateRateRecorder, WindowedCounter, WindowPoint
+from .stats import (
+    DEFAULT_METRICS,
+    ReplicateGroup,
+    ReplicateSummary,
+    group_replicates,
+    groups_to_json,
+    groups_to_jsonable,
+    student_t_critical,
+    summarize,
+)
 
 __all__ = [
     "Fig5Point",
@@ -42,8 +58,18 @@ __all__ = [
     "flooding_cost_measured",
     "per_node_cost_share",
     "format_key_values",
+    "format_mean_ci",
+    "format_replicate_table",
     "format_series",
     "format_table",
+    "DEFAULT_METRICS",
+    "ReplicateGroup",
+    "ReplicateSummary",
+    "group_replicates",
+    "groups_to_json",
+    "groups_to_jsonable",
+    "student_t_critical",
+    "summarize",
     "SeriesSet",
     "UpdateRateRecorder",
     "WindowedCounter",

@@ -108,6 +108,51 @@ def format_batch_summary(stats, results) -> str:
     )
 
 
+def format_mean_ci(summary, float_format: str = "{:.3f}") -> str:
+    """Render a replicate summary as a ``mean ± half-width [n=N]`` cell.
+
+    ``summary`` is a :class:`~repro.metrics.stats.ReplicateSummary`
+    (duck-typed); degenerate n=1 groups render without the ± part, since a
+    single replicate carries no interval.
+    """
+    return summary.format(float_format)
+
+
+def format_replicate_table(
+    groups,
+    metrics: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render replicate groups as a table of ``mean ± half-width`` cells.
+
+    ``groups`` is a sequence of :class:`~repro.metrics.stats.ReplicateGroup`
+    (duck-typed: ``label``, ``n``, ``metrics``).  One row per group, one
+    column per metric; ``metrics`` selects and orders the columns (default:
+    every metric of the first group, in its own order).
+    """
+    group_list = list(groups)
+    if not group_list:
+        return title or "(no replicate groups)"
+    names = list(metrics) if metrics is not None else list(group_list[0].metrics)
+    rows = [
+        [g.label, g.n]
+        + [
+            format_mean_ci(g.metrics[name], float_format)
+            if name in g.metrics
+            else "-"
+            for name in names
+        ]
+        for g in group_list
+    ]
+    return format_table(
+        headers=["trial", "n"] + names,
+        rows=rows,
+        float_format=float_format,
+        title=title,
+    )
+
+
 def format_key_values(title: str, pairs: Sequence[tuple[str, object]]) -> str:
     """Render key/value pairs as an aligned block."""
     if not pairs:

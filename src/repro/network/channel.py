@@ -18,6 +18,19 @@ Reception cost is charged when the frame is *delivered*, not when it is
 transmitted: a receiver that dies while the frame is in flight is recorded
 as a drop and is never charged, so the energy ledger and the channel stats
 always agree about how many receptions actually happened.
+
+Determinism contract
+--------------------
+Batched and per-receiver delivery are **stream-equivalent**: the vectorised
+loss draw consumes exactly one uniform per target, in the same target order
+the per-receiver reference path would draw them, from the same named
+channel stream.  Flipping ``batched_delivery`` therefore changes the event
+count but not a single loss outcome, delivery time, or ledger entry --
+``tests/experiments/test_fastpath_determinism.py`` pins the two paths
+against each other by `TrialResult` fingerprint.  Lossy channels require an
+rng at construction (there is no silent fallback RNG that could decouple a
+trial from its seed), and ``loss_probability`` accepts the full [0, 1]
+range including the 1.0 endpoint.
 """
 
 from __future__ import annotations

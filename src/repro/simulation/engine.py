@@ -27,6 +27,19 @@ Design choices
   calls :meth:`Simulator.run_until` with the next epoch boundary to drain
   them.  This hybrid keeps 20 000-epoch runs tractable in pure Python while
   preserving event-level message ordering.
+
+Determinism contract
+--------------------
+The engine itself owns **no randomness**: every stochastic component draws
+from a named stream of the trial's :class:`~repro.simulation.rng.
+RandomStreams`, which is seeded from the experiment config alone (the batch
+layer re-derives it per trial, see :mod:`repro.experiments.batch`).  Given
+the same config, the event sequence -- and therefore every measurement --
+replays bit-identically regardless of wall clock, worker count, or how many
+sibling simulations share the process.  Optimisations to this module must
+preserve the *observable* pop order ``(time, priority, sequence)`` exactly;
+the compaction and fast paths above are safe because they never reorder
+live events, only skip or drop cancelled ones.
 """
 
 from __future__ import annotations

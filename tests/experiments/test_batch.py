@@ -90,9 +90,17 @@ class TestTrialSpec:
         reps = spec.replicates(3)
         seeds = [r.config.seed for r in reps]
         assert len(set(seeds)) == 3
-        assert seeds == [
-            RandomStreams.derive_seed(3, f"rep-{i}") for i in range(3)
+        # Replicate 0 IS the base configuration (same seed, same cache key),
+        # so previously cached single trials compose into replicate groups.
+        assert seeds == [3] + [
+            RandomStreams.derive_seed(3, f"rep-{i}") for i in (1, 2)
         ]
+        assert reps[0].key == spec.key
+        assert reps[0].label == "base"
+        # Every replicate is stamped with the group-folding tags.
+        assert [r.tags["replicate"] for r in reps] == [0, 1, 2]
+        assert all(r.tags["base_key"] == spec.key for r in reps)
+        assert all(r.tags["base_label"] == "base" for r in reps)
         # Re-deriving produces the same specs (same keys).
         assert [r.key for r in spec.replicates(3)] == [r.key for r in reps]
         with pytest.raises(ValueError):
@@ -203,13 +211,15 @@ class TestBatchRunnerCache:
 
         first = BatchRunner(max_workers=1, cache_dir=tmp_path)
         ablations.run_loss_ablation(
-            loss_rates=(0.0,), num_epochs=200, seed=3, runner=first
+            loss_rates=(0.0,), num_epochs=200, seed=3, runner=first,
+            replicates=1,
         )
         assert first.last_stats.executed == 1
 
         second = BatchRunner(max_workers=1, cache_dir=tmp_path)
         points = ablations.run_atc_target_sweep(
-            targets=(0.5,), num_epochs=200, seed=3, runner=second
+            targets=(0.5,), num_epochs=200, seed=3, runner=second,
+            replicates=1,
         )
         assert second.last_stats.cached == 1
         assert second.last_stats.executed == 0
@@ -222,6 +232,7 @@ class TestBatchRunnerCache:
             coverages=(0.4,),
             num_epochs=120,
             base_config=base,
+            replicates=1,
         )
         first = BatchRunner(max_workers=2, cache_dir=tmp_path)
         result_a = fig5_accuracy.run(runner=first, **kwargs)

@@ -186,21 +186,33 @@ class TestFigureHarnesses:
             coverages=(0.4,),
             num_epochs=150,
             base_config=small_network(num_nodes=14, num_epochs=150),
+            replicates=2,
         )
         assert len(result.points) == 2
+        # One replicate group per (delta, coverage) point, n=2 each.
+        assert [g.n for g in result.stats] == [2, 2]
+        assert all(
+            g.metrics["cost_ratio"].ci_halfwidth is not None
+            for g in result.stats
+        )
         text = fig5_accuracy.report(result)
         assert "RECEIVE" in text and "delta" in text
+        assert "± " in text and "[n=2]" in text
+        assert '"figure": "fig5"' in result.to_json()
 
     def test_fig6_run_produces_series_and_references(self):
         result = fig6_updates.run(
             deltas=(5.0,),
             num_epochs=200,
             base_config=small_network(num_nodes=14, num_epochs=200),
+            replicates=2,
         )
         assert "atc" in result.series.names()
         assert result.umax_per_window > 0
         assert "delta=5%" in result.cost_ratios
-        assert "U_max" in fig6_updates.report(result)
+        assert {g.label for g in result.stats} == {"delta=5%", "atc"}
+        text = fig6_updates.report(result)
+        assert "U_max" in text and "[n=2]" in text
 
     def test_fig7_run_produces_overshoot_series(self):
         result = fig7_overshoot.run(
@@ -209,16 +221,26 @@ class TestFigureHarnesses:
             include_atc=False,
             window_epochs=100,
             base_config=small_network(num_nodes=14, num_epochs=200),
+            replicates=2,
         )
         assert "delta=5%" in result.series
+        assert result.stats[0].n == 2
         assert "Overshoot" in fig7_overshoot.report(result)
+        assert '"figure": "fig7"' in result.to_json()
 
     def test_headline_comparison(self):
         result = headline.run(
-            num_epochs=200, base_config=small_network(num_nodes=14, num_epochs=200)
+            num_epochs=200,
+            base_config=small_network(num_nodes=14, num_epochs=200),
+            replicates=2,
         )
         assert result.comparison.flooding_total > 0
         assert 0 < result.cost_ratio < 2.0
+        # Replicate i of DirQ and flooding must share one workload seed.
+        assert (
+            result.stats[0].results[1].config.seed
+            == result.stats[1].results[1].config.seed
+        )
         assert "flooding" in headline.report(result)
 
     def test_analytical_experiment_consistency(self):

@@ -1,0 +1,151 @@
+"""Tests for replicated sweeps: ``BatchRunner.run_replicated`` + the CLI.
+
+Covers the replication layer's end-to-end contract: cached single trials
+compose into replicate groups without re-running (replicate 0 is the base
+config), group summaries are bit-identical at any worker count, and the
+``python -m repro.experiments.replicate`` CLI emits ± cells plus a JSON
+export and is fully cache-served on a re-run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import replicate
+from repro.experiments.batch import BatchRunner, TrialSpec
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+def tiny_config(seed: int = 3) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_nodes=10,
+        comm_range=45.0,
+        num_epochs=80,
+        query_period=20,
+        target_coverage=0.4,
+        query_sensor_type="temperature",
+        seed=seed,
+    )
+
+
+def tiny_spec(label="base", seed=3, **tags) -> TrialSpec:
+    return TrialSpec(
+        label=label,
+        config=tiny_config(seed=seed).with_fixed_delta(5.0),
+        group="test",
+        tags=tags,
+    )
+
+
+class TestRunReplicated:
+    def test_one_group_per_spec_with_n_replicates(self, tmp_path):
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        groups = runner.run_replicated(
+            [tiny_spec("a"), tiny_spec("b", seed=11)], n=3
+        )
+        assert [g.label for g in groups] == ["a", "b"]
+        assert [g.n for g in groups] == [3, 3]
+        assert runner.last_stats.total == 6
+        for group in groups:
+            assert group.executed == 3 and group.cache_hits == 0
+            assert group.metrics["cost_ratio"].n == 3
+
+    def test_accepts_a_single_spec(self):
+        runner = BatchRunner(max_workers=1, cache_dir="")
+        (group,) = runner.run_replicated(tiny_spec(), n=2)
+        assert group.n == 2
+
+    def test_cached_single_trial_composes_into_group(self, tmp_path):
+        spec = tiny_spec()
+        first = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        first.run([spec])  # an un-replicated run populates the cache
+        assert first.last_stats.executed == 1
+
+        second = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        (group,) = second.run_replicated(spec, n=3)
+        # Replicate 0 is the base config: only the 2 new seeds execute.
+        assert second.last_stats.cached == 1
+        assert second.last_stats.executed == 2
+        assert group.cache_hits == 1 and group.executed == 2
+        assert group.results[0].config.seed == spec.config.seed
+
+    def test_groups_bit_identical_across_worker_counts(self):
+        specs = [tiny_spec("a"), tiny_spec("b", seed=11)]
+        serial = BatchRunner(max_workers=1, cache_dir="").run_replicated(
+            specs, n=2
+        )
+        threaded = BatchRunner(
+            max_workers=3, cache_dir="", executor="thread"
+        ).run_replicated(specs, n=2)
+        assert [g.to_dict() for g in serial] == [g.to_dict() for g in threaded]
+        fingerprints = lambda groups: [
+            r.fingerprint() for g in groups for r in g.results
+        ]
+        assert fingerprints(serial) == fingerprints(threaded)
+
+    def test_replicate_summaries_have_intervals(self):
+        runner = BatchRunner(max_workers=1, cache_dir="")
+        (group,) = runner.run_replicated(tiny_spec(), n=3)
+        summary = group.metrics["total_dirq_cost"]
+        assert summary.n == 3
+        assert summary.ci_halfwidth is not None
+        assert summary.minimum <= summary.mean <= summary.maximum
+
+
+class TestReplicateCli:
+    def run_cli(self, tmp_path, *extra):
+        argv = [
+            "--figure",
+            "smoke",
+            "--replicates",
+            "2",
+            "--epochs",
+            "60",
+            "--workers",
+            "1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--json",
+            str(tmp_path / "out.json"),
+            *extra,
+        ]
+        return replicate.main(argv)
+
+    def test_emits_ci_cells_and_json_export(self, tmp_path, capsys):
+        assert self.run_cli(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "± " in out and "[n=2]" in out
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["figure"] == "smoke"
+        assert payload["replicates"] == 2
+        assert len(payload["groups"]) == 4  # two deltas, atc, flooding
+        for group in payload["groups"]:
+            assert group["n"] == 2
+            assert group["metrics"]["cost_ratio"]["ci_halfwidth"] is not None
+
+    def test_rerun_is_fully_cache_served_and_bit_identical(
+        self, tmp_path, capsys
+    ):
+        assert self.run_cli(tmp_path) == 0
+        first = (tmp_path / "out.json").read_bytes()
+        capsys.readouterr()
+        assert self.run_cli(tmp_path, "--require-cached") == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out
+        assert (tmp_path / "out.json").read_bytes() == first
+
+    def test_require_cached_fails_on_cold_cache(self, tmp_path, capsys):
+        assert self.run_cli(tmp_path, "--require-cached") == 1
+
+    def test_specs_for_covers_every_figure(self):
+        for figure in replicate.FIGURES:
+            specs, title = replicate.specs_for(figure, epochs=100, seed=1)
+            assert specs, figure
+            assert title
+        with pytest.raises(ValueError):
+            replicate.specs_for("fig99", epochs=100, seed=1)

@@ -1,0 +1,34 @@
+"""Tier-1 guard for the documentation suite.
+
+The docs promise exact commands; this keeps them from drifting by running
+``tools/check_docs.py`` (module resolution + ``--help`` smoke for every
+CLI the docs mention) and by pinning the files the README links to.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+EXPECTED_DOCS = (
+    "docs/architecture.md",
+    "docs/experiments.md",
+    "docs/reproducing.md",
+)
+
+
+def test_docs_suite_exists_and_is_linked():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for doc in EXPECTED_DOCS:
+        assert (REPO_ROOT / doc).is_file(), f"{doc} missing"
+        assert doc in readme, f"README does not link {doc}"
+
+
+def test_documented_commands_smoke():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"docs check failed:\n{proc.stdout}\n{proc.stderr}"
