@@ -17,13 +17,29 @@ from .batch import (
 from ..metrics.stats import ReplicateGroup, ReplicateSummary, group_replicates
 from .config import ExperimentConfig, ProtocolName, TopologyEvent, paper_defaults
 from .runner import ExperimentResult, ExperimentRunner, run_experiment
-from .scenarios import (
-    heterogeneous_scenario,
-    node_failure_scenario,
-    paper_network,
-    small_network,
-    smoke_sweep,
+
+#: Scenario conveniences, resolved lazily from repro.scenarios.static: that
+#: module imports this package's config/batch layers, so importing it here
+#: eagerly would recurse into this very __init__.
+_SCENARIO_EXPORTS = (
+    "heterogeneous_scenario",
+    "node_failure_scenario",
+    "paper_network",
+    "small_network",
+    "smoke_sweep",
 )
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_EXPORTS:
+        from ..scenarios import static
+
+        return getattr(static, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_SCENARIO_EXPORTS))
 
 __all__ = [
     "BatchRunner",

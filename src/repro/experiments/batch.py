@@ -74,6 +74,21 @@ from .runner import ExperimentResult, run_experiment
 #: Environment variable providing a default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Cache directory the CLIs fall back to when neither ``--cache-dir`` nor
+#: the environment provides one.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def resolve_cache_dir(arg: Optional[str] = None) -> str:
+    """The CLI cache-directory resolution: flag, else env, else default.
+
+    Shared by every cache-using CLI (smoke/replicate/scenario/cache) so
+    they can never disagree about where the cache lives.
+    """
+    if arg is not None:
+        return arg
+    return os.environ.get(CACHE_ENV_VAR) or DEFAULT_CACHE_DIR
+
 #: Replicates per sweep point for the figure reproductions (shared by the
 #: figure modules and :meth:`BatchRunner.run_replicated`).
 DEFAULT_REPLICATES = 5
@@ -81,8 +96,10 @@ DEFAULT_REPLICATES = 5
 #: Bumped whenever the on-disk format or the simulation semantics change in
 #: a way that invalidates cached results.  v2: reception energy is charged
 #: at delivery time (refund-on-drop fix), which changes ledger totals for
-#: runs where nodes die with frames in flight.
-CACHE_VERSION = 2
+#: runs where nodes die with frames in flight.  v3: ``TrialResult`` gained
+#: scenario telemetry fields (``scenario_events``, ``num_relinks``) that
+#: older pickles lack.
+CACHE_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -115,12 +132,20 @@ def config_hash(config: ExperimentConfig) -> str:
     """Stable digest of a config: the cache key of the trial it describes.
 
     Two configs hash equally iff every declared field (including the nested
-    DirQ configuration and scripted topology events) is equal, so the hash
-    identifies the simulation outcome under the deterministic runner.
+    DirQ configuration, scripted topology events, and any dynamic-scenario
+    parameters) is equal, so the hash identifies the simulation outcome
+    under the deterministic runner.
+
+    Back-compatibility: the ``scenario`` field (added after the original
+    hash scheme shipped) is *omitted* from the payload when unset, so every
+    scenario-free config keeps the cache key it had before the field
+    existed -- static caches and fingerprints survive the subsystem's
+    introduction unchanged.
     """
-    payload = json.dumps(
-        _canonical(config), sort_keys=True, separators=(",", ":")
-    )
+    fields = _canonical(config)
+    if isinstance(fields, dict) and fields.get("scenario") is None:
+        fields.pop("scenario", None)
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
@@ -205,6 +230,13 @@ class TrialResult:
     atc_delta_history: Dict[int, List[float]]
     alive_at_end: Set[NodeId]
     num_nodes: int
+    #: Dynamic-scenario telemetry: the effective churn / battery-death /
+    #: reactivation events applied during the run as ``(epoch, kind,
+    #: node_id)`` tuples, and the number of mobility re-link rounds.  Both
+    #: stay empty/zero for static runs so pre-scenario fingerprints are
+    #: unchanged.
+    scenario_events: List[tuple] = dataclasses.field(default_factory=list)
+    num_relinks: int = 0
     runtime_seconds: float = 0.0
     from_cache: bool = False
 
@@ -225,6 +257,8 @@ class TrialResult:
             atc_delta_history=dict(result.atc_delta_history),
             alive_at_end=set(result.alive_at_end),
             num_nodes=result.num_nodes,
+            scenario_events=list(result.scenario_events),
+            num_relinks=result.num_relinks,
             runtime_seconds=runtime_seconds,
         )
 
@@ -311,6 +345,16 @@ class TrialResult:
                 for r in self.audit.records
             ],
         }
+        # Scenario telemetry enters the payload only when present, so the
+        # fingerprints of scenario-free trials are byte-identical to what
+        # they were before the scenario subsystem existed.
+        if self.scenario_events:
+            payload["scenario_events"] = [
+                [int(epoch), kind, int(nid)]
+                for epoch, kind, nid in self.scenario_events
+            ]
+        if self.num_relinks:
+            payload["num_relinks"] = self.num_relinks
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -422,6 +466,29 @@ class BatchRunner:
         with tmp.open("wb") as fh:
             pickle.dump({"version": CACHE_VERSION, "result": result}, fh)
         os.replace(tmp, path)  # atomic against concurrent sweeps
+        self._write_manifest(result.spec)
+
+    def _write_manifest(self, spec: TrialSpec) -> None:
+        """Write the human/tool-readable ``<key>.json`` sidecar of an entry.
+
+        The manifest makes the pickle cache inspectable and prunable
+        (``python -m repro.experiments.cache``): it records the cache
+        version, the spec's label/group/tags, and the full canonical
+        config.  Deliberately timestamp-free (file mtime carries the age)
+        so manifests are deterministic.
+        """
+        manifest = {
+            "version": CACHE_VERSION,
+            "key": spec.key,
+            "label": spec.label,
+            "group": spec.group,
+            "tags": _canonical(spec.tags),
+            "config": _canonical(spec.config),
+        }
+        path = self.cache_dir / f"{spec.key}.json"
+        tmp = self.cache_dir / f"{spec.key}.json.tmp"
+        tmp.write_text(json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, path)
 
     # -- execution -----------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..core.config import DirQConfig, ThresholdMode
 from ..network.addresses import NodeId
+from ..scenarios.spec import ScenarioConfig
 
 
 class ProtocolName:
@@ -92,6 +93,12 @@ class ExperimentConfig:
         LMAC parameters.
     topology_events:
         Scripted node deaths / activations.
+    scenario:
+        Optional dynamic-scenario bundle (churn, mobility, time-varying
+        traffic, heterogeneous energy budgets); ``None`` reproduces the
+        paper's static behaviour exactly.  When set, its parameters are
+        part of the config hash; when unset the field is omitted from the
+        hash payload so pre-scenario cache keys stay valid.
     initially_dead:
         Nodes present in the dataset and topology but switched off at t=0
         (they can be activated later to model post-deployment additions).
@@ -123,6 +130,7 @@ class ExperimentConfig:
     slots_per_frame: int = 32
     topology_events: List[TopologyEvent] = dataclasses.field(default_factory=list)
     initially_dead: Set[NodeId] = dataclasses.field(default_factory=set)
+    scenario: Optional[ScenarioConfig] = None
     send_responses: bool = False
     trace: bool = False
     root_id: NodeId = 0
@@ -171,6 +179,10 @@ class ExperimentConfig:
     def with_flooding(self) -> "ExperimentConfig":
         """Copy of this config running the flooding baseline."""
         return dataclasses.replace(self, protocol=ProtocolName.FLOODING)
+
+    def with_scenario(self, scenario: Optional[ScenarioConfig]) -> "ExperimentConfig":
+        """Copy of this config with the given dynamic scenario (or none)."""
+        return dataclasses.replace(self, scenario=scenario)
 
     def replace(self, **changes) -> "ExperimentConfig":
         return dataclasses.replace(self, **changes)

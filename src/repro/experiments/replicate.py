@@ -16,7 +16,6 @@ an exit code for CI).
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
@@ -24,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..metrics.report import format_replicate_table
 from ..metrics.stats import DEFAULT_CONFIDENCE, groups_to_json
 from . import ablations, fig5_accuracy, fig6_updates, fig7_overshoot, headline
-from .batch import CACHE_ENV_VAR, BatchRunner, TrialSpec
+from .batch import BatchRunner, TrialSpec, resolve_cache_dir
 from .scenarios import paper_network, smoke_sweep
 
 #: Figures the CLI can replicate.
@@ -131,9 +130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.replicates < 1:
         parser.error("--replicates must be >= 1")
 
-    cache_dir = args.cache_dir
-    if cache_dir is None:
-        cache_dir = os.environ.get(CACHE_ENV_VAR) or ".repro-cache"
+    cache_dir = resolve_cache_dir(args.cache_dir)
 
     specs, title = specs_for(args.figure, epochs=args.epochs, seed=args.seed)
     runner = BatchRunner(max_workers=args.workers, cache_dir=cache_dir)

@@ -30,6 +30,7 @@ from ..core.dirq_node import DirQNode
 from ..core.dirq_root import DirQRoot
 from ..core.flooding import FloodingNode, FloodingRoot
 from ..core.messages import QUERY_KIND, RangeQuery
+from ..energy.battery import Battery
 from ..energy.ledger import NetworkLedger
 from ..mac.lmac import LMACProtocol
 from ..metrics.accuracy import mean_accuracy, mean_overshoot
@@ -41,6 +42,13 @@ from ..network.channel import WirelessChannel
 from ..network.node import SensorNode
 from ..network.spanning_tree import SpanningTree, build_bfs_tree
 from ..network.topology import Topology, random_geometric_topology
+from ..scenarios.models import (
+    ChurnModel,
+    EnergyProfile,
+    MobilityModel,
+    TrafficProfile,
+    rebuild_spanning_tree,
+)
 from ..sensors.dataset import SensorDataset
 from ..sensors.sensor import SamplingCounter, Sensor
 from ..sensors.types import DEFAULT_SENSOR_TYPES, default_type_specs
@@ -70,6 +78,11 @@ class ExperimentResult:
     atc_delta_history: Dict[int, List[float]]
     alive_at_end: Set[NodeId]
     num_nodes: int
+    #: Effective dynamic-scenario events (churn kills/revivals, battery
+    #: deaths) as ``(epoch, kind, node_id)`` tuples, and the number of
+    #: mobility re-link rounds; both stay empty/zero for static runs.
+    scenario_events: List[tuple] = dataclasses.field(default_factory=list)
+    num_relinks: int = 0
 
     # -- headline summaries ------------------------------------------------------
 
@@ -122,6 +135,8 @@ class SimulationWorld:
         self.sampling = SamplingCounter()
         self.sensor_owners: Dict[str, Set[NodeId]] = {}
         self.alive: Set[NodeId] = set()
+        #: Scenario-assigned finite batteries (empty for static runs).
+        self.batteries: Dict[NodeId, Battery] = {}
 
 
 class ExperimentRunner:
@@ -270,6 +285,14 @@ class ExperimentRunner:
             )
             self._install_tree_links(world, world.tree)
 
+        # Heterogeneous energy budgets (scenario-driven).  Capacities come
+        # from the dedicated "scenario-energy" stream, so assigning them
+        # perturbs no draw of the static components.
+        if cfg.scenario is not None and cfg.scenario.energy is not None:
+            world.batteries = EnergyProfile(cfg.scenario.energy).batteries(
+                node_ids, cfg.root_id, self.streams.get("scenario-energy")
+            )
+
         # Start the MAC and application layers.
         for nid in node_ids:
             if nid in world.alive:
@@ -358,6 +381,12 @@ class ExperimentRunner:
         if node_id in world.alive:
             return
         world.alive.add(node_id)
+        # Reactivation models a battery swap / reboot: a node whose finite
+        # budget was exhausted comes back with a fresh one, otherwise the
+        # energy check would kill it again at the very next period.
+        battery = world.batteries.get(node_id)
+        if battery is not None:
+            battery.recharge()
         world.nodes[node_id].revive()
         world.channel.set_alive(node_id, True)
         world.macs[node_id].start()
@@ -371,6 +400,32 @@ class ExperimentRunner:
             candidates.sort(key=lambda nb: (world.tree.depth_of(nb), nb))
             world.tree = world.tree.with_new_node(node_id, candidates[0])
             self._install_tree_links(world, world.tree)
+
+    def _apply_relink(self, world: SimulationWorld, mobility: MobilityModel) -> None:
+        """Advance mobile nodes one re-link period and repair the overlay.
+
+        Positions move, unit-disk connectivity is re-derived, and the
+        spanning tree is rebuilt deterministically over the alive nodes
+        still reachable from the root (partitioned nodes drop out of the
+        tree until a later re-link reconnects them).  Every node whose
+        parent changed re-advertises its ranges so queries keep routing
+        (paper §4.2), exactly as after a node death.
+        """
+        moved = mobility.step()
+        world.topology = world.topology.with_positions(moved)
+        world.channel.update_topology(world.topology)
+        old_tree = world.tree
+        world.tree = rebuild_spanning_tree(
+            world.topology, world.alive, self.config.root_id
+        )
+        self._install_tree_links(world, world.tree)
+        for nid in world.tree.node_ids:
+            if nid == self.config.root_id:
+                continue
+            if nid not in old_tree or old_tree.parent_of(nid) != world.tree.parent_of(nid):
+                proto = world.protocols[nid]
+                if hasattr(proto, "readvertise"):
+                    proto.readvertise()
 
     # ------------------------------------------------------------------
     # The epoch loop
@@ -395,7 +450,19 @@ class ExperimentRunner:
             sensor_owners=world.sensor_owners,
         )
         generator.set_alive(world.alive)
-        schedule = periodic_schedule(cfg.num_epochs, cfg.query_period)
+
+        # Dynamic-scenario models.  Each draws from its own named stream,
+        # so a scenario perturbs no draw of the static components and a
+        # scenario trial is a pure function of its config.
+        scenario = cfg.scenario
+        traffic: Optional[TrafficProfile] = None
+        if scenario is not None and scenario.traffic is not None:
+            traffic = TrafficProfile(scenario.traffic)
+            schedule = traffic.schedule(
+                cfg.num_epochs, cfg.epochs_per_day, self.streams.get("scenario-traffic")
+            )
+        else:
+            schedule = periodic_schedule(cfg.num_epochs, cfg.query_period)
         injections: Dict[int, int] = {}
         for epoch in schedule:
             injections[epoch] = injections.get(epoch, 0) + 1
@@ -403,6 +470,36 @@ class ExperimentRunner:
         events_by_epoch: Dict[int, List[TopologyEvent]] = {}
         for event in cfg.topology_events:
             events_by_epoch.setdefault(event.epoch, []).append(event)
+
+        # Churn: the whole death/reactivation timeline is pre-sampled, then
+        # applied through the same kill/activate path as scripted events.
+        scenario_events_by_epoch: Dict[int, List[TopologyEvent]] = {}
+        if scenario is not None and scenario.churn is not None:
+            churn_events = ChurnModel(scenario.churn).events(
+                sorted(world.alive),
+                cfg.root_id,
+                cfg.num_epochs,
+                self.streams.get("scenario-churn"),
+            )
+            for epoch, kind, nid in churn_events:
+                scenario_events_by_epoch.setdefault(epoch, []).append(
+                    TopologyEvent(epoch=epoch, kind=kind, node_id=nid)
+                )
+
+        mobility: Optional[MobilityModel] = None
+        if scenario is not None and scenario.mobility is not None:
+            mobility = MobilityModel(scenario.mobility, cfg.area_size)
+            mobility.initialise(
+                world.topology.positions,
+                cfg.root_id,
+                self.streams.get("scenario-mobility"),
+            )
+
+        energy_cfg = scenario.energy if scenario is not None else None
+        drained: Dict[NodeId, float] = {nid: 0.0 for nid in world.batteries}
+
+        applied_events: List[tuple] = []
+        num_relinks = 0
 
         # Reference costs ---------------------------------------------------------------
         flooding_per_query = flooding_cost_general(
@@ -433,7 +530,9 @@ class ExperimentRunner:
         for epoch in range(cfg.num_epochs):
             run_until(float(epoch))
 
-            # Scripted topology dynamics.
+            topology_changed = False
+
+            # Scripted topology dynamics (from the config).
             events_now = events_by_epoch.get(epoch)
             if events_now:
                 for event in events_now:
@@ -441,14 +540,71 @@ class ExperimentRunner:
                         self._apply_kill(world, event.node_id)
                     else:
                         self._apply_activation(world, event.node_id)
-                    generator.set_tree(world.tree)
-                    generator.set_alive(world.alive)
-                    if is_dirq:
-                        root.set_network_size(len(world.alive))
-                        flooding_per_query = flooding_cost_general(
-                            len(world.alive), world.channel.num_links
+                topology_changed = True
+
+            # Scenario churn events; only *effective* transitions (a kill of
+            # an alive node, an activation of a dead one) are recorded as
+            # scenario telemetry.
+            scenario_now = scenario_events_by_epoch.get(epoch)
+            if scenario_now:
+                for event in scenario_now:
+                    if event.kind == TopologyEvent.KILL:
+                        if event.node_id in world.alive:
+                            self._apply_kill(world, event.node_id)
+                            applied_events.append(
+                                (epoch, TopologyEvent.KILL, event.node_id)
+                            )
+                            topology_changed = True
+                    elif event.node_id not in world.alive:
+                        self._apply_activation(world, event.node_id)
+                        applied_events.append(
+                            (epoch, TopologyEvent.ACTIVATE, event.node_id)
                         )
-                        root.set_flooding_cost(flooding_per_query)
+                        topology_changed = True
+
+            # Mobility: advance positions and re-derive links and tree.
+            if (
+                mobility is not None
+                and epoch > 0
+                and epoch % scenario.mobility.relink_period == 0
+            ):
+                self._apply_relink(world, mobility)
+                num_relinks += 1
+                topology_changed = True
+
+            # Heterogeneous energy: drain each battery by its node's ledger
+            # cost since the last check; depletion kills the node exactly
+            # like a scripted failure.
+            if (
+                world.batteries
+                and epoch > 0
+                and epoch % energy_cfg.check_period == 0
+            ):
+                for nid in sorted(world.alive):
+                    if nid == cfg.root_id:
+                        continue
+                    battery = world.batteries.get(nid)
+                    if battery is None:
+                        continue
+                    total = world.ledger.node(nid).total_cost()
+                    delta = total - drained[nid]
+                    if delta > 0:
+                        drained[nid] = total
+                        battery.draw(delta)
+                    if battery.depleted:
+                        self._apply_kill(world, nid)
+                        applied_events.append((epoch, TopologyEvent.KILL, nid))
+                        topology_changed = True
+
+            if topology_changed:
+                generator.set_tree(world.tree)
+                generator.set_alive(world.alive)
+                if is_dirq:
+                    root.set_network_size(len(world.alive))
+                    flooding_per_query = flooding_cost_general(
+                        len(world.alive), world.channel.num_links
+                    )
+                    root.set_flooding_cost(flooding_per_query)
                 alive_protocols = [
                     world.protocols[nid] for nid in sorted(world.alive)
                 ]
@@ -464,8 +620,13 @@ class ExperimentRunner:
 
             # Query injections scheduled for this epoch.
             for _ in range(injections.get(epoch, 0)):
+                target_coverage = (
+                    traffic.coverage_at(epoch, cfg.num_epochs, cfg.target_coverage)
+                    if traffic is not None
+                    else cfg.target_coverage
+                )
                 generated = generator.generate(
-                    epoch, cfg.target_coverage, cfg.query_sensor_type
+                    epoch, target_coverage, cfg.query_sensor_type
                 )
                 query = generated.query
                 sources, should = evaluate_query(
@@ -524,6 +685,8 @@ class ExperimentRunner:
             atc_delta_history=atc_history,
             alive_at_end=set(world.alive),
             num_nodes=cfg.num_nodes,
+            scenario_events=applied_events,
+            num_relinks=num_relinks,
         )
 
 

@@ -188,6 +188,23 @@ class WirelessChannel:
                 self.graph.add_edge(node_id, other)
         self._alive[node_id] = True
 
+    def update_topology(self, topology: Topology) -> None:
+        """Adopt new positions/links after node movement (mobility scenarios).
+
+        The node set must be unchanged: mobility moves nodes, it never adds
+        or removes them (use :meth:`add_node` / :meth:`set_alive` for
+        that).  Liveness flags and registered receivers are preserved --
+        only who-can-hear-whom changes.
+        """
+        if set(topology.graph.nodes) != set(self.graph.nodes):
+            raise ValueError(
+                "update_topology requires the same node set; "
+                "use add_node/set_alive for membership changes"
+            )
+        self.graph = topology.graph.copy()
+        self.positions = dict(topology.positions)
+        self.comm_range = topology.comm_range
+
     def neighbors(self, node_id: NodeId) -> list[NodeId]:
         """Alive one-hop neighbours of ``node_id``."""
         if node_id not in self.graph:

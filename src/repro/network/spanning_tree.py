@@ -294,26 +294,42 @@ class SpanningTree:
 # ---------------------------------------------------------------------------
 
 
-def build_bfs_tree(topology: Topology, root: NodeId = 0) -> SpanningTree:
+def build_bfs_tree(
+    topology: Topology,
+    root: NodeId = 0,
+    alive: Optional[Set[NodeId]] = None,
+    partial: bool = False,
+) -> SpanningTree:
     """Breadth-first spanning tree of ``topology`` rooted at ``root``.
 
     Ties (several potential parents at the same depth) are broken by the
     lowest parent id, which makes the construction deterministic and matches
     what the distributed :class:`TreeSetupProtocol` converges to on an ideal
     channel.
+
+    Parameters
+    ----------
+    alive:
+        Restrict the tree to these nodes (the root is always included);
+        ``None`` spans the whole topology.
+    partial:
+        Tolerate unreachable members by leaving them out of the tree
+        instead of raising :class:`TreeError` -- what the mobility
+        scenarios need, where a re-link can transiently partition nodes.
     """
     if not topology.has_node(root):
         raise KeyError(f"root {root} not in topology")
+    members = set(topology.node_ids) if alive is None else set(alive)
     parent: Dict[NodeId, Optional[NodeId]] = {root: None}
     frontier = deque([root])
     while frontier:
         cur = frontier.popleft()
         for nb in topology.neighbors(cur):
-            if nb not in parent:
+            if nb in members and nb not in parent:
                 parent[nb] = cur
                 frontier.append(nb)
-    missing = set(topology.node_ids) - set(parent)
-    if missing:
+    missing = members - set(parent)
+    if missing and not partial:
         raise TreeError(
             f"topology is not connected; unreachable nodes: {sorted(missing)}"
         )

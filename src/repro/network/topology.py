@@ -146,6 +146,34 @@ class Topology:
                 g.add_edge(node_id, other)
         return Topology(graph=g, positions=positions, comm_range=self.comm_range)
 
+    def with_positions(self, updates: Dict[NodeId, Position]) -> "Topology":
+        """Copy of this topology with some nodes moved.
+
+        Connectivity is re-derived from the unit-disk rule over the updated
+        placement, so this is the substrate of the mobility scenarios: node
+        movement changes links, never the node set.  Requires a
+        ``comm_range`` (synthetic topologies without one have no rule to
+        re-derive links from).
+        """
+        if not updates:
+            return self
+        if self.comm_range is None:
+            raise ValueError(
+                "with_positions requires a comm_range to re-derive links"
+            )
+        unknown = [nid for nid in updates if nid not in self.graph]
+        if unknown:
+            raise KeyError(f"unknown nodes {sorted(unknown)}")
+        positions = dict(self.positions)
+        for nid, (x, y) in updates.items():
+            positions[nid] = (float(x), float(y))
+        graph = _unit_disk_graph(positions, self.comm_range)
+        return Topology(graph=graph, positions=positions, comm_range=self.comm_range)
+
+    def with_position(self, node_id: NodeId, position: Position) -> "Topology":
+        """Copy of this topology with one node moved (see :meth:`with_positions`)."""
+        return self.with_positions({node_id: position})
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Topology(nodes={self.num_nodes}, links={self.num_links}, "

@@ -1,0 +1,251 @@
+"""Replicated dynamic-scenario runs from the command line.
+
+``python -m repro.scenarios.run --scenario churn-heavy --replicates 5``
+runs the named scenario (see ``--list`` for the catalogue) with N
+independent seeds through a :class:`~repro.experiments.batch.BatchRunner`,
+prints the replicate-CI table, and -- unless ``--baseline none`` -- runs
+the static baseline alongside and reports the resilience comparison
+(per-metric degradation, recovery time after the first scenario-driven
+node death).
+
+Mirrors ``python -m repro.experiments.replicate``: replicate 0 of every
+point is the base configuration (cached single trials compose for free),
+re-runs against the same cache execute zero trials and produce a
+bit-identical table and JSON export at any worker count
+(``--require-cached`` turns that invariant into an exit code for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..experiments.batch import BatchRunner, resolve_cache_dir
+from ..metrics.report import format_replicate_table, format_table
+from ..metrics.resilience import (
+    DEFAULT_RECOVERY_TOLERANCE,
+    degradation_rows,
+    format_degradation_table,
+    recovery_summary,
+    resilience_to_jsonable,
+)
+from ..metrics.stats import DEFAULT_CONFIDENCE, groups_to_jsonable
+from .registry import DEFAULT_SCENARIO_EPOCHS, scenario_defs, scenario_spec
+
+#: Baseline scenario used for the resilience comparison.
+DEFAULT_BASELINE = "static-paper"
+
+
+def _print_catalogue() -> None:
+    rows = [(d.name, d.kind, d.description) for d in scenario_defs()]
+    print(
+        format_table(
+            headers=["scenario", "kind", "description"],
+            rows=rows,
+            title="registered scenarios",
+        )
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Run a registered dynamic scenario with N replicates per point "
+            "and report resilience vs the static baseline."
+        )
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="registered scenario name (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the scenario catalogue and exit",
+    )
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=5,
+        help="independent seeds per scenario (default: 5)",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=DEFAULT_SCENARIO_EPOCHS,
+        help=(
+            f"epochs per trial (default: {DEFAULT_SCENARIO_EPOCHS}; "
+            "paper-length: 20000)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="base master seed (default: 1)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=(
+            "scenario to compare against for the resilience table "
+            f"(default: {DEFAULT_BASELINE}; 'none' disables the comparison)"
+        ),
+    )
+    parser.add_argument(
+        "--recovery-window",
+        type=int,
+        default=100,
+        help="window (epochs) for the recovery-time metric (default: 100)",
+    )
+    parser.add_argument(
+        "--recovery-tolerance",
+        type=float,
+        default=DEFAULT_RECOVERY_TOLERANCE,
+        help=(
+            "accuracy slack for declaring recovery "
+            f"(default: {DEFAULT_RECOVERY_TOLERANCE})"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "result cache directory (default: $REPRO_CACHE_DIR or "
+            ".repro-cache); re-runs are then served entirely from cache"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="JSON export path (default: scenario-<name>.json)",
+    )
+    parser.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="exit non-zero unless the sweep executed zero trials (CI check)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _print_catalogue()
+        return 0
+    if args.scenario is None:
+        parser.error("--scenario is required (or use --list)")
+    if args.replicates < 1:
+        parser.error("--replicates must be >= 1")
+    if args.recovery_window < 1:
+        parser.error("--recovery-window must be >= 1")
+    if args.recovery_tolerance < 0:
+        parser.error("--recovery-tolerance must be non-negative")
+
+    cache_dir = resolve_cache_dir(args.cache_dir)
+
+    with_baseline = args.baseline != "none" and args.baseline != args.scenario
+    try:
+        specs = [
+            scenario_spec(args.scenario, num_epochs=args.epochs, seed=args.seed)
+        ]
+        if with_baseline:
+            specs.append(
+                scenario_spec(args.baseline, num_epochs=args.epochs, seed=args.seed)
+            )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    runner = BatchRunner(max_workers=args.workers, cache_dir=cache_dir)
+    groups = runner.run_replicated(
+        specs, n=args.replicates, confidence=DEFAULT_CONFIDENCE
+    )
+    stats = runner.last_stats
+    scenario_group = groups[0]
+    baseline_group = groups[1] if with_baseline else None
+
+    print(
+        f"scenario sweep: {args.scenario} ({args.epochs} epochs) | "
+        f"{len(specs)} points x {args.replicates} replicates = "
+        f"{stats.total} trials | executed {stats.executed}, "
+        f"cached {stats.cached}, deduplicated {stats.deduplicated} | "
+        f"workers {stats.workers} | wall {stats.runtime_seconds:.2f}s"
+    )
+    print()
+    print(
+        format_replicate_table(
+            groups,
+            title=(
+                f"{args.scenario}: mean ± {DEFAULT_CONFIDENCE:.0%} CI "
+                f"half-width over n={args.replicates} seeds"
+            ),
+        )
+    )
+
+    recovery = recovery_summary(
+        scenario_group.results,
+        window_epochs=args.recovery_window,
+        tolerance=args.recovery_tolerance,
+    )
+    rows = []
+    if baseline_group is not None:
+        rows = degradation_rows(scenario_group, baseline_group)
+        print()
+        print(
+            format_degradation_table(
+                rows,
+                title=(
+                    f"resilience: {args.scenario} vs {args.baseline} "
+                    "(replicate means)"
+                ),
+            )
+        )
+    print()
+    if recovery is not None:
+        print(
+            f"recovery after first disruption: {recovery.format('{:.0f}')} epochs "
+            f"(window {args.recovery_window}, tolerance "
+            f"{args.recovery_tolerance:g})"
+        )
+    else:
+        print("recovery after first disruption: n/a (no scenario-driven deaths)")
+
+    payload = {
+        "scenario": args.scenario,
+        "epochs": args.epochs,
+        "seed": args.seed,
+        "replicates": args.replicates,
+        "confidence": DEFAULT_CONFIDENCE,
+        "groups": groups_to_jsonable(groups),
+        # Recovery is a scenario-only metric, so the resilience payload is
+        # always present; without a baseline the degradation list is empty
+        # and the baseline label blank.
+        "resilience": resilience_to_jsonable(
+            rows,
+            recovery=recovery,
+            baseline_label=args.baseline if baseline_group is not None else "",
+        ),
+    }
+    json_path = Path(args.json_path or f"scenario-{args.scenario}.json")
+    json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    print()
+    print(f"JSON export written to {json_path}")
+
+    if args.require_cached and stats.executed != 0:
+        print(
+            f"FAIL: --require-cached but {stats.executed} trials executed "
+            "(expected 0)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

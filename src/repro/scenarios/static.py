@@ -1,0 +1,130 @@
+"""Canonical static experiment configurations (the paper's networks).
+
+This module is the **single definition** of "the §7 network" and its
+smaller test/benchmark variants.  It used to live in
+``repro.experiments.scenarios``; that module now lazily re-exports
+everything from here so existing imports keep working while figures,
+benchmarks, the scenario registry and CI all build on one definition.
+
+(Deliberately import-light: only the experiment config/batch layers are
+touched, and only after they are fully importable -- see the package
+``__init__`` for the lazy-loading contract.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.config import DirQConfig
+from ..network.addresses import NodeId
+from ..experiments.batch import TrialSpec
+from ..experiments.config import ExperimentConfig, TopologyEvent
+
+
+def paper_network(
+    num_epochs: int = 20_000,
+    target_coverage: float = 0.4,
+    seed: int = 1,
+    query_sensor_type: Optional[str] = "temperature",
+    epochs_per_hour: int = 500,
+) -> ExperimentConfig:
+    """The §7 evaluation network: 50 nodes, one root, 4 sensor types.
+
+    Queries are restricted to a single sensor type by default (as in the
+    paper's per-figure experiments); pass ``query_sensor_type=None`` to
+    draw the queried attribute uniformly at random instead.
+    """
+    return ExperimentConfig(
+        num_nodes=50,
+        num_epochs=num_epochs,
+        query_period=20,
+        target_coverage=target_coverage,
+        query_sensor_type=query_sensor_type,
+        seed=seed,
+        dirq=DirQConfig(epochs_per_hour=epochs_per_hour),
+    )
+
+
+def small_network(
+    num_nodes: int = 16,
+    num_epochs: int = 400,
+    target_coverage: float = 0.4,
+    seed: int = 7,
+) -> ExperimentConfig:
+    """A small, fast network used by tests and the quickstart example."""
+    return ExperimentConfig(
+        num_nodes=num_nodes,
+        num_epochs=num_epochs,
+        comm_range=35.0,
+        target_coverage=target_coverage,
+        query_sensor_type="temperature",
+        seed=seed,
+        dirq=DirQConfig(epochs_per_hour=200),
+    )
+
+
+def node_failure_scenario(
+    num_epochs: int = 1_200,
+    failures: Optional[List[NodeId]] = None,
+    failure_epoch: int = 400,
+    seed: int = 11,
+) -> ExperimentConfig:
+    """Topology-dynamics scenario: a batch of nodes dies mid-run.
+
+    Used by the cross-layer adaptation ablation (E7 in DESIGN.md): accuracy
+    should recover within a few epochs of the failures because LMAC reports
+    the dead neighbours and DirQ prunes / re-advertises its ranges.
+    """
+    cfg = paper_network(num_epochs=num_epochs, seed=seed)
+    dead = failures if failures is not None else [7, 19, 33]
+    events = [
+        TopologyEvent(epoch=failure_epoch, kind=TopologyEvent.KILL, node_id=nid)
+        for nid in dead
+        if nid != cfg.root_id
+    ]
+    return cfg.replace(topology_events=events)
+
+
+def smoke_sweep(
+    num_nodes: int = 12,
+    num_epochs: int = 120,
+    seed: int = 3,
+) -> List[TrialSpec]:
+    """A small mixed sweep exercising every protocol mode.
+
+    Used by the CI smoke run (``python -m repro.experiments.smoke``) and by
+    tests that need a representative multi-trial batch that finishes in
+    seconds: two fixed thresholds, the ATC, and the flooding baseline over
+    the same miniature network.
+    """
+    base = small_network(
+        num_nodes=num_nodes, num_epochs=num_epochs, seed=seed
+    )
+    specs = [
+        TrialSpec(
+            label=f"smoke delta={delta:g}%",
+            config=base.with_fixed_delta(delta),
+            group="smoke",
+            tags={"delta": delta},
+        )
+        for delta in (3.0, 9.0)
+    ]
+    specs.append(
+        TrialSpec(label="smoke atc", config=base.with_atc(), group="smoke")
+    )
+    specs.append(
+        TrialSpec(
+            label="smoke flooding", config=base.with_flooding(), group="smoke"
+        )
+    )
+    return specs
+
+
+def heterogeneous_scenario(
+    num_epochs: int = 1_000,
+    sensors_per_node: int = 2,
+    seed: int = 13,
+) -> ExperimentConfig:
+    """Heterogeneous-network scenario (Fig. 4): random sensor subsets per node."""
+    cfg = paper_network(num_epochs=num_epochs, seed=seed, query_sensor_type=None)
+    return cfg.replace(sensors_per_node=sensors_per_node)

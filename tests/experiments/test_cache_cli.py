@@ -1,0 +1,175 @@
+"""Tests for the cache manifest sidecars and ``python -m repro.experiments.cache``."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import cache as cache_cli
+from repro.experiments.batch import CACHE_VERSION, BatchRunner, TrialSpec
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+def tiny_spec(seed=3, label="tiny") -> TrialSpec:
+    config = ExperimentConfig(
+        num_nodes=8,
+        comm_range=50.0,
+        num_epochs=60,
+        query_period=20,
+        query_sensor_type="temperature",
+        seed=seed,
+    )
+    return TrialSpec(label=label, config=config, group="test", tags={"k": 1})
+
+
+class TestManifestSidecar:
+    def test_manifest_written_next_to_pickle(self, tmp_path):
+        spec = tiny_spec()
+        BatchRunner(max_workers=1, cache_dir=tmp_path).run([spec])
+        pkl = tmp_path / f"{spec.key}.pkl"
+        manifest_path = tmp_path / f"{spec.key}.json"
+        assert pkl.is_file() and manifest_path.is_file()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["version"] == CACHE_VERSION
+        assert manifest["key"] == spec.key
+        assert manifest["label"] == "tiny"
+        assert manifest["group"] == "test"
+        assert manifest["tags"] == {"k": 1}
+        assert manifest["config"]["num_nodes"] == 8
+
+    def test_manifest_is_deterministic(self, tmp_path):
+        spec = tiny_spec()
+        BatchRunner(max_workers=1, cache_dir=tmp_path / "a").run([spec])
+        BatchRunner(max_workers=1, cache_dir=tmp_path / "b").run([spec])
+        a = (tmp_path / "a" / f"{spec.key}.json").read_bytes()
+        b = (tmp_path / "b" / f"{spec.key}.json").read_bytes()
+        assert a == b
+
+
+class TestScanAndPrune:
+    def populate(self, tmp_path):
+        spec = tiny_spec()
+        BatchRunner(max_workers=1, cache_dir=tmp_path).run([spec])
+        return spec
+
+    def test_scan_reports_ok_entry(self, tmp_path):
+        spec = self.populate(tmp_path)
+        (entry,) = cache_cli.scan_cache(tmp_path)
+        assert entry.key == spec.key
+        assert entry.status == cache_cli.STATUS_OK
+        assert entry.version == CACHE_VERSION
+        assert entry.label == "tiny"
+
+    def test_scan_flags_stale_orphan_and_legacy(self, tmp_path):
+        self.populate(tmp_path)
+        # Stale entry: old version stamp in pickle + manifest.
+        (tmp_path / "aaaa.pkl").write_bytes(
+            pickle.dumps({"version": CACHE_VERSION - 1, "result": None})
+        )
+        (tmp_path / "aaaa.json").write_text(
+            json.dumps(
+                {"version": CACHE_VERSION - 1, "key": "aaaa", "label": "old"}
+            )
+        )
+        # Orphan manifest without a pickle.
+        (tmp_path / "bbbb.json").write_text(
+            json.dumps({"version": CACHE_VERSION, "key": "bbbb"})
+        )
+        # Legacy pickle without a manifest.
+        (tmp_path / "cccc.pkl").write_bytes(
+            pickle.dumps({"version": CACHE_VERSION, "result": None})
+        )
+        statuses = {e.key: e.status for e in cache_cli.scan_cache(tmp_path)}
+        assert statuses["aaaa"] == cache_cli.STATUS_STALE
+        assert statuses["bbbb"] == cache_cli.STATUS_ORPHAN
+        assert statuses["cccc"] == cache_cli.STATUS_NO_MANIFEST
+        assert sum(1 for s in statuses.values() if s == cache_cli.STATUS_OK) == 1
+
+    def test_prune_removes_stale_and_orphans_keeps_ok(self, tmp_path):
+        spec = self.populate(tmp_path)
+        (tmp_path / "aaaa.pkl").write_bytes(
+            pickle.dumps({"version": CACHE_VERSION - 1, "result": None})
+        )
+        (tmp_path / "bbbb.json").write_text(
+            json.dumps({"version": 1, "key": "bbbb"})
+        )
+        assert cache_cli.main(["--prune", "--cache-dir", str(tmp_path)]) == 0
+        remaining = sorted(p.name for p in tmp_path.iterdir())
+        assert remaining == [f"{spec.key}.json", f"{spec.key}.pkl"]
+
+    def test_foreign_json_next_to_valid_pickle_is_ignored(self, tmp_path):
+        """A same-stem non-manifest JSON must not poison (or die with) its .pkl."""
+        spec = self.populate(tmp_path)
+        foreign = tmp_path / f"{spec.key}.json"
+        foreign.write_text(json.dumps({"unrelated": True}))
+        (entry,) = cache_cli.scan_cache(tmp_path)
+        # Version falls back to the pickle stamp: still a valid entry.
+        assert entry.status == cache_cli.STATUS_NO_MANIFEST
+        assert entry.version == CACHE_VERSION
+        assert cache_cli.main(["--prune", "--cache-dir", str(tmp_path)]) == 0
+        assert (tmp_path / f"{spec.key}.pkl").is_file()
+        assert foreign.is_file()
+        assert cache_cli.main(["--prune", "--all", "--cache-dir", str(tmp_path)]) == 0
+        assert not (tmp_path / f"{spec.key}.pkl").exists()
+        assert foreign.is_file()
+
+    def test_prune_never_touches_unrelated_json(self, tmp_path):
+        """Non-manifest JSON in the cache dir (CLI exports, configs) is not ours."""
+        self.populate(tmp_path)
+        export = tmp_path / "scenario-churn-heavy.json"
+        export.write_text(json.dumps({"groups": [], "replicates": 2}))
+        broken = tmp_path / "not-json.json"
+        broken.write_text("{nope")
+        assert (
+            cache_cli.main(["--prune", "--all", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert export.is_file() and broken.is_file()
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_prune_all_empties_the_cache(self, tmp_path):
+        self.populate(tmp_path)
+        assert (
+            cache_cli.main(["--prune", "--all", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_prune_older_than(self, tmp_path):
+        import os
+        import time
+
+        spec = self.populate(tmp_path)
+        old = time.time() - 10 * 86400
+        for path in tmp_path.iterdir():
+            os.utime(path, (old, old))
+        entries = cache_cli.scan_cache(tmp_path)
+        targets = cache_cli.prune_targets(entries, older_than_days=5)
+        assert [t.key for t in targets] == [spec.key]
+        assert cache_cli.prune_targets(entries, older_than_days=30) == []
+
+    def test_list_cli_output(self, tmp_path, capsys):
+        self.populate(tmp_path)
+        assert cache_cli.main(["--list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "ok" in out
+
+    def test_list_empty_cache(self, tmp_path, capsys):
+        assert cache_cli.main(["--cache-dir", str(tmp_path / "none")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_prune_selectors_require_prune(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cache_cli.main(["--older-than", "30", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            cache_cli.main(["--all", "--cache-dir", str(tmp_path)])
+
+    def test_cached_result_survives_a_prune_pass(self, tmp_path):
+        spec = self.populate(tmp_path)
+        cache_cli.main(["--prune", "--cache-dir", str(tmp_path)])
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run([spec])
+        assert runner.last_stats.cached == 1 and runner.last_stats.executed == 0

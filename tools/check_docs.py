@@ -42,7 +42,10 @@ DOC_FILES = sorted(
 ARGPARSE_CLIS = {
     "repro.experiments.smoke",
     "repro.experiments.replicate",
+    "repro.experiments.cache",
+    "repro.scenarios.run",
     "benchmarks.bench_engine",
+    "benchmarks.bench_scenarios",
 }
 
 FENCE_RE = re.compile(r"^```")
