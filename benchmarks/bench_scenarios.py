@@ -41,10 +41,13 @@ from .conftest import BENCH_SEED, emit
 BENCH_SCENARIOS = (
     "static-paper",
     "churn-heavy",
+    "area-blast",
     "mobile-40",
+    "group-mobile",
     "diurnal-60",
     "energy-tiered",
     "harsh-mixed",
+    "harsh-grid",
 )
 
 #: Epochs per timed trial -- smaller than the figure benchmarks because the

@@ -98,8 +98,10 @@ DEFAULT_REPLICATES = 5
 #: at delivery time (refund-on-drop fix), which changes ledger totals for
 #: runs where nodes die with frames in flight.  v3: ``TrialResult`` gained
 #: scenario telemetry fields (``scenario_events``, ``num_relinks``) that
-#: older pickles lack.
-CACHE_VERSION = 3
+#: older pickles lack.  v4: a reactivated node's ledger is checkpointed so
+#: its fresh battery no longer inherits the dead battery's tail spend,
+#: which changes outcomes for revive-churn + finite-energy compositions.
+CACHE_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -108,11 +110,21 @@ CACHE_VERSION = 3
 
 
 def _canonical(obj: object) -> object:
-    """Reduce ``obj`` to a JSON-serialisable, order-stable structure."""
+    """Reduce ``obj`` to a JSON-serialisable, order-stable structure.
+
+    Dataclasses may declare a ``HASH_OMIT_WHEN_UNSET`` class attribute
+    naming fields that are dropped from the canonical form while ``None``.
+    This is the hash-compatibility convention for *extending* an existing
+    config dataclass: a new optional field listed there leaves the
+    canonical payload -- hence every cache key, manifest, and fingerprint
+    -- of all pre-extension configs byte-identical.
+    """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        omit = getattr(type(obj), "HASH_OMIT_WHEN_UNSET", ())
         return {
             f.name: _canonical(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
+            if not (f.name in omit and getattr(obj, f.name) is None)
         }
     if isinstance(obj, dict):
         return {
@@ -136,16 +148,17 @@ def config_hash(config: ExperimentConfig) -> str:
     parameters) is equal, so the hash identifies the simulation outcome
     under the deterministic runner.
 
-    Back-compatibility: the ``scenario`` field (added after the original
-    hash scheme shipped) is *omitted* from the payload when unset, so every
-    scenario-free config keeps the cache key it had before the field
-    existed -- static caches and fingerprints survive the subsystem's
-    introduction unchanged.
+    Back-compatibility: fields added after a config class's original hash
+    scheme shipped (``ExperimentConfig.scenario``, the ``area_*`` /
+    group-mobility scenario fields) are declared in their dataclass's
+    ``HASH_OMIT_WHEN_UNSET`` and *omitted* from the payload while unset,
+    so every pre-extension config keeps the cache key it had before the
+    fields existed -- old caches and fingerprints survive each extension
+    unchanged.
     """
-    fields = _canonical(config)
-    if isinstance(fields, dict) and fields.get("scenario") is None:
-        fields.pop("scenario", None)
-    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    payload = json.dumps(
+        _canonical(config), sort_keys=True, separators=(",", ":")
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 

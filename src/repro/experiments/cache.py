@@ -45,6 +45,10 @@ class CacheEntry:
     size_bytes: int
     mtime: float
     status: str
+    #: Scenario name from the manifest tags ("" when the entry was not
+    #: produced by a scenario/grid spec) -- what makes grid-sized caches
+    #: inspectable by scenario.
+    scenario: str = ""
 
     @property
     def paths(self) -> List[Path]:
@@ -102,6 +106,10 @@ def scan_cache(cache_dir: Path) -> List[CacheEntry]:
             # cache metadata, never select it for deletion.
             manifest, man = None, None
         label = str(manifest.get("label", "")) if manifest else ""
+        tags = manifest.get("tags") if manifest else None
+        scenario = (
+            str(tags.get("scenario", "")) if isinstance(tags, dict) else ""
+        )
         if pkl is None:
             if manifest is None:
                 continue  # unrelated JSON file, not ours to touch
@@ -115,6 +123,7 @@ def scan_cache(cache_dir: Path) -> List[CacheEntry]:
                     size_bytes=man.stat().st_size,
                     mtime=man.stat().st_mtime,
                     status=STATUS_ORPHAN,
+                    scenario=scenario,
                 )
             )
             continue
@@ -137,6 +146,7 @@ def scan_cache(cache_dir: Path) -> List[CacheEntry]:
                 size_bytes=size,
                 mtime=pkl.stat().st_mtime,
                 status=status,
+                scenario=scenario,
             )
         )
     return entries
@@ -175,6 +185,7 @@ def _format_listing(entries: Sequence[CacheEntry], cache_dir: Path) -> str:
         (
             e.key,
             e.label or "-",
+            e.scenario or "-",
             "-" if e.version is None else e.version,
             e.status,
             f"{e.size_bytes / 1024:.1f}",
@@ -184,7 +195,10 @@ def _format_listing(entries: Sequence[CacheEntry], cache_dir: Path) -> str:
     ]
     total_kb = sum(e.size_bytes for e in entries) / 1024
     return format_table(
-        headers=["key", "label", "version", "status", "size kB", "age days"],
+        headers=[
+            "key", "label", "scenario", "version", "status", "size kB",
+            "age days",
+        ],
         rows=rows,
         title=(
             f"cache {cache_dir}: {len(entries)} entries, {total_kb:.1f} kB "

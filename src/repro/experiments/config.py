@@ -109,6 +109,12 @@ class ExperimentConfig:
         it off).
     """
 
+    #: The ``scenario`` field postdates the original hash scheme: it is
+    #: omitted from the canonical hash payload while ``None`` (see
+    #: ``repro.experiments.batch._canonical``), so pre-scenario configs
+    #: keep their cache keys.
+    HASH_OMIT_WHEN_UNSET = ("scenario",)
+
     num_nodes: int = 50
     comm_range: float = 30.0
     area_size: float = 100.0

@@ -480,6 +480,10 @@ class ExperimentRunner:
                 cfg.root_id,
                 cfg.num_epochs,
                 self.streams.get("scenario-churn"),
+                # Area-failure disc membership is evaluated on the
+                # deployment positions; mobility later in the run does not
+                # re-draw the blast.
+                positions=world.topology.positions,
             )
             for epoch, kind, nid in churn_events:
                 scenario_events_by_epoch.setdefault(epoch, []).append(
@@ -497,6 +501,22 @@ class ExperimentRunner:
 
         energy_cfg = scenario.energy if scenario is not None else None
         drained: Dict[NodeId, float] = {nid: 0.0 for nid in world.batteries}
+
+        def activate(node_id: NodeId) -> None:
+            """Reactivate a node, checkpointing its ledger for the fresh battery.
+
+            Without the checkpoint, energy the node spent between the last
+            energy check and its death would be debited from the *new*
+            battery at the next check -- a battery swap must not inherit
+            the old battery's tail spend.  Activating an already-alive node
+            is a complete no-op (no recharge, no checkpoint): its unchanged
+            battery still owes every unit since the last check.
+            """
+            if node_id in world.alive:
+                return
+            self._apply_activation(world, node_id)
+            if node_id in drained:
+                drained[node_id] = world.ledger.node(node_id).total_cost()
 
         applied_events: List[tuple] = []
         num_relinks = 0
@@ -539,7 +559,7 @@ class ExperimentRunner:
                     if event.kind == TopologyEvent.KILL:
                         self._apply_kill(world, event.node_id)
                     else:
-                        self._apply_activation(world, event.node_id)
+                        activate(event.node_id)
                 topology_changed = True
 
             # Scenario churn events; only *effective* transitions (a kill of
@@ -556,7 +576,7 @@ class ExperimentRunner:
                             )
                             topology_changed = True
                     elif event.node_id not in world.alive:
-                        self._apply_activation(world, event.node_id)
+                        activate(event.node_id)
                         applied_events.append(
                             (epoch, TopologyEvent.ACTIVATE, event.node_id)
                         )

@@ -11,6 +11,15 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 
+def _render_cell(cell: object, float_format: str) -> str:
+    """Shared cell formatting of the text and markdown tables."""
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
@@ -22,14 +31,9 @@ def format_table(
     Floats are formatted with ``float_format``; everything else with
     ``str``.  Column widths adapt to the content.
     """
-    def render(cell: object) -> str:
-        if isinstance(cell, bool):
-            return str(cell)
-        if isinstance(cell, float):
-            return float_format.format(cell)
-        return str(cell)
-
-    rendered_rows: List[List[str]] = [[render(c) for c in row] for row in rows]
+    rendered_rows: List[List[str]] = [
+        [_render_cell(c, float_format) for c in row] for row in rows
+    ]
     header_cells = [str(h) for h in headers]
     widths = [len(h) for h in header_cells]
     for row in rendered_rows:
@@ -151,6 +155,61 @@ def format_replicate_table(
         float_format=float_format,
         title=title,
     )
+
+
+def format_matrix(
+    row_header: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell,
+    title: Optional[str] = None,
+) -> str:
+    """Render a labelled matrix as an aligned text table.
+
+    ``cell(row_label, col_label)`` returns the cell's rendered string (use
+    ``"-"`` for absent cells).  This is the scenario×protocol grid shape:
+    one row per scenario, one column per protocol variant.
+    """
+    rows = [
+        [row] + [str(cell(row, col)) for col in col_labels] for row in row_labels
+    ]
+    return format_table(
+        headers=[row_header] + list(col_labels), rows=rows, title=title
+    )
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    header_cells = [str(h) for h in headers]
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "| " + " | ".join("---" for _ in header_cells) + " |",
+    ]
+    for row in rows:
+        cells = [_render_cell(c, float_format) for c in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(header_cells)} columns"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_markdown_matrix(
+    row_header: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell,
+) -> str:
+    """Markdown twin of :func:`format_matrix`."""
+    rows = [
+        [row] + [str(cell(row, col)) for col in col_labels] for row in row_labels
+    ]
+    return format_markdown_table([row_header] + list(col_labels), rows)
 
 
 def format_key_values(title: str, pairs: Sequence[tuple[str, object]]) -> str:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 from statistics import mean
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .accuracy import query_accuracy
 from .audit import QueryRecord
@@ -238,4 +238,88 @@ def resilience_to_jsonable(
         "baseline": baseline_label,
         "degradation": [row.to_dict() for row in rows],
         "recovery": None if recovery is None else recovery.to_dict(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Matrix-shaped (scenario × protocol) degradation
+# ---------------------------------------------------------------------------
+
+
+def grid_degradation(
+    cells: Mapping[Tuple[str, str], object],
+    baseline: str,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, str, List[DegradationRow]]]:
+    """Per-cell degradation against the same-protocol baseline-scenario cell.
+
+    ``cells`` maps ``(scenario, protocol)`` to a ``ReplicateGroup``-shaped
+    object (insertion order is report order); every non-baseline cell is
+    compared to ``cells[(baseline, protocol)]`` -- the static reference
+    *under the same protocol*, so the deltas isolate the scenario's effect
+    from the protocol's.  Cells whose baseline twin is absent are skipped.
+    """
+    out: List[Tuple[str, str, List[DegradationRow]]] = []
+    for (scenario, protocol), group in cells.items():
+        if scenario == baseline:
+            continue
+        base = cells.get((baseline, protocol))
+        if base is None:
+            continue
+        out.append(
+            (scenario, protocol, degradation_rows(group, base, metrics=metrics))
+        )
+    return out
+
+
+def format_grid_degradation_table(
+    entries: Sequence[Tuple[str, str, Sequence[DegradationRow]]],
+    title: Optional[str] = None,
+) -> str:
+    """Render :func:`grid_degradation` output, one row per (scenario, protocol).
+
+    Columns are the union of the metrics present in the entries (first-seen
+    order), each cell the percentage delta vs the baseline cell (``-`` when
+    the baseline mean is ~0 or the metric is absent).
+    """
+    if not entries:
+        return title or "(no cells to compare)"
+    metric_names: List[str] = []
+    for _, _, rows in entries:
+        for row in rows:
+            if row.metric not in metric_names:
+                metric_names.append(row.metric)
+    body = []
+    for scenario, protocol, rows in entries:
+        by_metric = {row.metric: row for row in rows}
+        cells = []
+        for name in metric_names:
+            row = by_metric.get(name)
+            if row is None or row.delta_percent is None:
+                cells.append("-")
+            else:
+                cells.append(f"{row.delta_percent:+.1f}%")
+        body.append([scenario, protocol] + cells)
+    return format_table(
+        headers=["scenario", "protocol"] + [f"Δ{m} %" for m in metric_names],
+        rows=body,
+        title=title,
+    )
+
+
+def grid_degradation_to_jsonable(
+    entries: Sequence[Tuple[str, str, Sequence[DegradationRow]]],
+    baseline: str,
+) -> Dict[str, object]:
+    """Deterministic JSON payload of a grid degradation comparison."""
+    return {
+        "baseline": baseline,
+        "cells": [
+            {
+                "scenario": scenario,
+                "protocol": protocol,
+                "rows": [row.to_dict() for row in rows],
+            }
+            for scenario, protocol, rows in entries
+        ],
     }

@@ -316,6 +316,107 @@ def _energy_lognormal(num_epochs: int, seed: int) -> ExperimentConfig:
 
 
 @register_scenario(
+    "area-blast",
+    "churn",
+    "correlated area failure: every node in a sampled disc dies at once",
+)
+def _area_blast(num_epochs: int, seed: int) -> ExperimentConfig:
+    cfg = paper_network(num_epochs=num_epochs, seed=seed)
+    return cfg.replace(
+        scenario=ScenarioConfig(
+            name="area-blast",
+            churn=ChurnConfig(
+                death_rate=0.0,
+                area_epoch=max(1, num_epochs // 3),
+                area_radius=30.0,
+            ),
+        )
+    )
+
+
+@register_scenario(
+    "area-blast-revive",
+    "churn",
+    "area failure whose victims revive one by one (staggered repair crew)",
+)
+def _area_blast_revive(num_epochs: int, seed: int) -> ExperimentConfig:
+    cfg = paper_network(num_epochs=num_epochs, seed=seed)
+    return cfg.replace(
+        scenario=ScenarioConfig(
+            name="area-blast-revive",
+            churn=ChurnConfig(
+                death_rate=0.0,
+                area_epoch=max(1, num_epochs // 3),
+                area_radius=30.0,
+                area_revive_after=max(10, num_epochs // 8),
+                area_revive_stagger=max(1, num_epochs // 80),
+            ),
+        )
+    )
+
+
+@register_scenario(
+    "group-mobile",
+    "mobility",
+    "reference-point group mobility: heads roam, members jitter around them",
+)
+def _group_mobile(num_epochs: int, seed: int) -> ExperimentConfig:
+    cfg = paper_network(num_epochs=num_epochs, seed=seed)
+    return cfg.replace(
+        scenario=ScenarioConfig(
+            name="group-mobile",
+            mobility=MobilityConfig(
+                mode="group",
+                num_groups=4,
+                group_jitter=8.0,
+                mobile_fraction=0.8,
+                speed_min=0.2,
+                speed_max=1.0,
+                relink_period=max(10, num_epochs // 20),
+            ),
+        )
+    )
+
+
+@register_scenario(
+    "harsh-grid",
+    "mixed",
+    "area blast + staggered revival + group mobility + bursty load",
+)
+def _harsh_grid(num_epochs: int, seed: int) -> ExperimentConfig:
+    cfg = paper_network(num_epochs=num_epochs, seed=seed, target_coverage=0.2)
+    return cfg.replace(
+        scenario=ScenarioConfig(
+            name="harsh-grid",
+            churn=ChurnConfig(
+                death_rate=2.0 / max(1, num_epochs),
+                start_epoch=num_epochs // 4,
+                max_deaths=4,
+                area_epoch=max(1, num_epochs // 2),
+                area_radius=25.0,
+                area_revive_after=max(10, num_epochs // 6),
+                area_revive_stagger=max(1, num_epochs // 80),
+            ),
+            mobility=MobilityConfig(
+                mode="group",
+                num_groups=3,
+                group_jitter=6.0,
+                mobile_fraction=0.5,
+                speed_min=0.1,
+                speed_max=0.5,
+                relink_period=max(20, num_epochs // 10),
+            ),
+            traffic=TrafficConfig(
+                mode="bursty",
+                burst_every=max(25, num_epochs // 6),
+                queries_per_burst=4,
+                background_period=50,
+            ),
+        )
+    )
+
+
+@register_scenario(
     "harsh-mixed",
     "mixed",
     "churn + partial mobility + bursty load + tiered energy, all at once",

@@ -39,15 +39,18 @@ from .registry import DEFAULT_SCENARIO_EPOCHS, scenario_defs, scenario_spec
 DEFAULT_BASELINE = "static-paper"
 
 
-def _print_catalogue() -> None:
+def format_catalogue(title: str = "registered scenarios") -> str:
+    """The scenario catalogue as a text table (shared with the grid CLI)."""
     rows = [(d.name, d.kind, d.description) for d in scenario_defs()]
-    print(
-        format_table(
-            headers=["scenario", "kind", "description"],
-            rows=rows,
-            title="registered scenarios",
-        )
+    return format_table(
+        headers=["scenario", "kind", "description"],
+        rows=rows,
+        title=title,
     )
+
+
+def _print_catalogue() -> None:
+    print(format_catalogue())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -52,15 +52,48 @@ class ChurnConfig:
         When set, every killed node is scheduled for reactivation this many
         epochs after its death (modelling battery swaps / reboots).
     max_deaths:
-        Cap on the total number of deaths (keeps long runs from silently
-        killing the whole network).
+        Cap on the total number of *Poisson* deaths (keeps long runs from
+        silently killing the whole network).  An area blast deliberately
+        ignores the cap: a correlated failure takes out its whole disc.
+    area_epoch, area_radius, area_center:
+        Correlated area failure: at ``area_epoch`` every non-root node
+        within ``area_radius`` of the blast centre dies at once (lightning
+        strike, localised flooding, a stolen cluster).  ``area_center``
+        fixes the centre explicitly; when ``None`` the centre is the
+        position of a node sampled uniformly from the ``scenario-churn``
+        stream, so the disc always hits at least one node and its
+        membership is a deterministic function of the seed.  Membership is
+        evaluated on the *deployment* positions (mobility later in the run
+        does not re-draw the blast).
+    area_revive_after, area_revive_stagger:
+        Optional staggered revival of the blast victims: the k-th victim
+        (in sorted node order) reactivates ``area_revive_after +
+        k * area_revive_stagger`` epochs after the blast (a repair crew
+        working through the area; stagger ``None`` means all at once).
+
+    The ``area_*`` fields are listed in :data:`HASH_OMIT_WHEN_UNSET`:
+    while unset they are dropped from the canonical hash payload, so every
+    pre-existing churn config keeps its exact cache key and fingerprint.
     """
+
+    HASH_OMIT_WHEN_UNSET = (
+        "area_epoch",
+        "area_radius",
+        "area_center",
+        "area_revive_after",
+        "area_revive_stagger",
+    )
 
     death_rate: float = 0.01
     start_epoch: int = 0
     end_epoch: Optional[int] = None
     revive_after: Optional[int] = None
     max_deaths: Optional[int] = None
+    area_epoch: Optional[int] = None
+    area_radius: Optional[float] = None
+    area_center: Optional[Tuple[float, float]] = None
+    area_revive_after: Optional[int] = None
+    area_revive_stagger: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.death_rate < 0:
@@ -73,25 +106,72 @@ class ChurnConfig:
             raise ValueError("revive_after must be >= 1")
         if self.max_deaths is not None and self.max_deaths < 0:
             raise ValueError("max_deaths must be non-negative")
+        if (self.area_epoch is None) != (self.area_radius is None):
+            raise ValueError(
+                "area_epoch and area_radius must be set together"
+            )
+        if self.area_epoch is not None and self.area_epoch < 0:
+            raise ValueError("area_epoch must be non-negative")
+        if self.area_radius is not None and self.area_radius <= 0:
+            raise ValueError("area_radius must be positive")
+        for name in ("area_center", "area_revive_after", "area_revive_stagger"):
+            if getattr(self, name) is not None and self.area_epoch is None:
+                raise ValueError(f"{name} requires area_epoch/area_radius")
+        if self.area_center is not None:
+            if len(self.area_center) != 2:
+                raise ValueError("area_center must be an (x, y) pair")
+            object.__setattr__(
+                self, "area_center", tuple(float(c) for c in self.area_center)
+            )
+        if self.area_revive_after is not None and self.area_revive_after < 1:
+            raise ValueError("area_revive_after must be >= 1")
+        if self.area_revive_stagger is not None:
+            if self.area_revive_after is None:
+                raise ValueError("area_revive_stagger requires area_revive_after")
+            if self.area_revive_stagger < 0:
+                raise ValueError("area_revive_stagger must be non-negative")
 
 
 @dataclasses.dataclass(frozen=True)
 class MobilityConfig:
-    """Random-waypoint position drift with epoch-granular re-linking.
+    """Position drift with epoch-granular re-linking.
 
     Node positions only change at re-link boundaries (every
-    ``relink_period`` epochs): each mobile node advances
-    ``speed * relink_period`` metres towards its current waypoint, drawing
-    a fresh uniform waypoint whenever one is reached.  Connectivity is then
-    re-derived from the unit-disk rule and the spanning tree is rebuilt
-    deterministically (sorted-neighbour BFS), so a mobility trial is a pure
-    function of its seed.
+    ``relink_period`` epochs).  Two modes:
+
+    ``"waypoint"`` (the default, ``mode=None``)
+        Random waypoint: each mobile node advances
+        ``speed * relink_period`` metres towards its current waypoint,
+        drawing a fresh uniform waypoint whenever one is reached.
+    ``"group"``
+        Reference-point group mobility: the mobile nodes split into
+        ``num_groups`` clusters; each cluster's *head* moves random
+        waypoint exactly as above, and every member re-positions uniformly
+        within ``group_jitter`` metres of its head at each re-link (a herd,
+        a patrol, vehicles in a convoy).  ``mode="group"`` requires both
+        ``num_groups`` and ``group_jitter``.
+
+    Connectivity is re-derived from the unit-disk rule after every step and
+    the spanning tree is rebuilt deterministically (sorted-neighbour BFS),
+    so a mobility trial is a pure function of its seed.
+
+    The ``mode``/``num_groups``/``group_jitter`` fields are listed in
+    :data:`HASH_OMIT_WHEN_UNSET`: while unset they are dropped from the
+    canonical hash payload, so every pre-existing mobility config keeps
+    its exact cache key and fingerprint.
     """
+
+    MODES = ("waypoint", "group")
+
+    HASH_OMIT_WHEN_UNSET = ("mode", "num_groups", "group_jitter")
 
     speed_min: float = 0.5
     speed_max: float = 1.5
     relink_period: int = 50
     mobile_fraction: float = 1.0
+    mode: Optional[str] = None
+    num_groups: Optional[int] = None
+    group_jitter: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.speed_min < 0 or self.speed_max < self.speed_min:
@@ -100,6 +180,21 @@ class MobilityConfig:
             raise ValueError("relink_period must be >= 1")
         if not (0.0 < self.mobile_fraction <= 1.0):
             raise ValueError("mobile_fraction must be in (0, 1]")
+        if self.mode is not None and self.mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {self.mode!r}")
+        if self.mode == "group":
+            if self.num_groups is None or self.group_jitter is None:
+                raise ValueError(
+                    "mode='group' requires num_groups and group_jitter"
+                )
+        elif self.num_groups is not None or self.group_jitter is not None:
+            raise ValueError(
+                "num_groups/group_jitter only apply to mode='group'"
+            )
+        if self.num_groups is not None and self.num_groups < 1:
+            raise ValueError("num_groups must be >= 1")
+        if self.group_jitter is not None and self.group_jitter <= 0:
+            raise ValueError("group_jitter must be positive")
 
 
 @dataclasses.dataclass(frozen=True)

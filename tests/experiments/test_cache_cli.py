@@ -157,6 +157,23 @@ class TestScanAndPrune:
         out = capsys.readouterr().out
         assert "tiny" in out and "ok" in out
 
+    def test_list_shows_scenario_name_when_present(self, tmp_path, capsys):
+        """Grid/scenario cache entries are inspectable by scenario name."""
+        from repro.scenarios.registry import scenario_spec
+
+        spec = scenario_spec("churn-heavy", num_epochs=60)
+        BatchRunner(max_workers=1, cache_dir=tmp_path).run([spec])
+        self.populate(tmp_path)  # a non-scenario entry alongside
+        entries = {e.key: e for e in cache_cli.scan_cache(tmp_path)}
+        assert entries[spec.key].scenario == "churn-heavy"
+        assert cache_cli.main(["--list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out  # the column header
+        assert "churn-heavy" in out
+        # The non-scenario entry renders a placeholder, not an empty cell.
+        tiny_line = next(line for line in out.splitlines() if "tiny" in line)
+        assert " - " in tiny_line
+
     def test_list_empty_cache(self, tmp_path, capsys):
         assert cache_cli.main(["--cache-dir", str(tmp_path / "none")]) == 0
         assert "empty" in capsys.readouterr().out

@@ -1,0 +1,360 @@
+"""Tests for the correlated-area-failure and group-mobility extensions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.batch import config_hash
+from repro.experiments.runner import run_experiment
+from repro.scenarios.models import ChurnModel, MobilityModel
+from repro.scenarios.spec import (
+    EVENT_ACTIVATE,
+    EVENT_KILL,
+    ChurnConfig,
+    MobilityConfig,
+    ScenarioConfig,
+)
+from repro.scenarios.static import small_network
+
+
+def rng(seed: int = 7) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def grid_positions(n: int = 16, spacing: float = 10.0):
+    """Node i at (spacing * (i % 4), spacing * (i // 4))."""
+    return {i: (spacing * (i % 4), spacing * (i // 4)) for i in range(n)}
+
+
+class TestAreaSpecValidation:
+    def test_area_fields_must_pair(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(area_epoch=10)  # radius missing
+        with pytest.raises(ValueError):
+            ChurnConfig(area_radius=5.0)  # epoch missing
+
+    def test_dependent_fields_require_area(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(area_center=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            ChurnConfig(area_revive_after=10)
+        with pytest.raises(ValueError):
+            ChurnConfig(area_revive_stagger=1)
+
+    def test_bad_area_values(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(area_epoch=10, area_radius=0.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(area_epoch=-1, area_radius=5.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(area_epoch=10, area_radius=5.0, area_center=(1.0,))
+        with pytest.raises(ValueError):
+            ChurnConfig(area_epoch=10, area_radius=5.0, area_revive_after=0)
+        with pytest.raises(ValueError):
+            # A stagger without a revive delay would be silently ignored.
+            ChurnConfig(area_epoch=10, area_radius=5.0, area_revive_stagger=5)
+
+    def test_center_normalised_to_float_tuple(self):
+        cfg = ChurnConfig(area_epoch=10, area_radius=5.0, area_center=(1, 2))
+        assert cfg.area_center == (1.0, 2.0)
+
+
+class TestAreaHashCompatibility:
+    def test_unset_area_fields_do_not_change_the_hash(self):
+        # Two configs built through dataclasses with/without the new fields
+        # present-but-None must canonicalise identically; the registry
+        # golden hashes in test_registry_and_runner.py pin the absolute
+        # pre-extension values.
+        base = small_network(num_nodes=10, num_epochs=80)
+        a = base.with_scenario(ScenarioConfig(churn=ChurnConfig(death_rate=0.02)))
+        b = base.with_scenario(
+            ScenarioConfig(
+                churn=ChurnConfig(
+                    death_rate=0.02,
+                    area_epoch=None,
+                    area_radius=None,
+                    area_center=None,
+                )
+            )
+        )
+        assert config_hash(a) == config_hash(b)
+
+    def test_area_parameters_enter_the_hash(self):
+        base = small_network(num_nodes=10, num_epochs=80)
+
+        def with_area(radius):
+            return base.with_scenario(
+                ScenarioConfig(
+                    churn=ChurnConfig(
+                        death_rate=0.0, area_epoch=20, area_radius=radius
+                    )
+                )
+            )
+
+        plain = base.with_scenario(ScenarioConfig(churn=ChurnConfig()))
+        assert config_hash(with_area(10.0)) != config_hash(plain)
+        assert config_hash(with_area(10.0)) != config_hash(with_area(20.0))
+        assert config_hash(with_area(10.0)) == config_hash(with_area(10.0))
+
+
+class TestAreaChurnModel:
+    def area_cfg(self, **kw):
+        kw.setdefault("death_rate", 0.0)
+        kw.setdefault("area_epoch", 50)
+        kw.setdefault("area_radius", 12.0)
+        return ChurnConfig(**kw)
+
+    def test_explicit_center_membership(self):
+        positions = grid_positions()
+        cfg = self.area_cfg(area_center=(0.0, 0.0))
+        events = ChurnModel(cfg).events(
+            list(range(16)), 0, 200, rng(), positions=positions
+        )
+        killed = {nid for _, kind, nid in events if kind == EVENT_KILL}
+        expected = {
+            nid
+            for nid, (x, y) in positions.items()
+            if nid != 0 and math.hypot(x, y) <= 12.0
+        }
+        assert killed == expected
+        assert all(epoch == 50 for epoch, _, _ in events)
+
+    def test_sampled_center_is_deterministic_and_enters_no_extra_draws(self):
+        positions = grid_positions()
+        cfg = self.area_cfg()
+        a = ChurnModel(cfg).events(list(range(16)), 0, 200, rng(3), positions=positions)
+        b = ChurnModel(cfg).events(list(range(16)), 0, 200, rng(3), positions=positions)
+        assert a == b
+        assert a, "sampled-centre blast killed nobody"
+
+    def test_sampled_center_hits_at_least_one_node(self):
+        # The centre is a node's own position, so the disc always contains
+        # that node (unless the draw picks... it cannot: radius > 0).
+        positions = grid_positions()
+        for seed in range(10):
+            events = ChurnModel(self.area_cfg(area_radius=0.5)).events(
+                list(range(16)), 0, 200, rng(seed), positions=positions
+            )
+            assert len(events) >= 1
+
+    def test_root_survives_a_blast_covering_everything(self):
+        positions = grid_positions()
+        cfg = self.area_cfg(area_center=(15.0, 15.0), area_radius=1e9)
+        events = ChurnModel(cfg).events(
+            list(range(16)), 0, 200, rng(), positions=positions
+        )
+        killed = {nid for _, kind, nid in events if kind == EVENT_KILL}
+        assert killed == set(range(1, 16))
+
+    def test_staggered_revival_schedule(self):
+        positions = grid_positions()
+        cfg = self.area_cfg(
+            area_center=(0.0, 0.0),
+            area_radius=12.0,
+            area_revive_after=30,
+            area_revive_stagger=5,
+        )
+        events = ChurnModel(cfg).events(
+            list(range(16)), 0, 400, rng(), positions=positions
+        )
+        kills = sorted(nid for _, kind, nid in events if kind == EVENT_KILL)
+        revives = {
+            nid: epoch for epoch, kind, nid in events if kind == EVENT_ACTIVATE
+        }
+        for k, nid in enumerate(kills):
+            assert revives[nid] == 50 + 30 + 5 * k
+
+    def test_revivals_past_the_run_end_are_dropped(self):
+        positions = grid_positions()
+        cfg = self.area_cfg(
+            area_center=(0.0, 0.0), area_revive_after=1000
+        )
+        events = ChurnModel(cfg).events(
+            list(range(16)), 0, 200, rng(), positions=positions
+        )
+        assert all(kind == EVENT_KILL for _, kind, _ in events)
+
+    def test_blast_composes_with_poisson_churn(self):
+        positions = grid_positions()
+        cfg = ChurnConfig(
+            death_rate=0.05,
+            start_epoch=60,
+            area_epoch=50,
+            area_radius=12.0,
+            area_center=(0.0, 0.0),
+        )
+        events = ChurnModel(cfg).events(
+            list(range(16)), 0, 400, rng(), positions=positions
+        )
+        blast = {nid for e, kind, nid in events if kind == EVENT_KILL and e == 50}
+        later = [
+            nid for e, kind, nid in events if kind == EVENT_KILL and e > 50
+        ]
+        # Poisson victims are drawn from the survivors: no double kill.
+        assert blast.isdisjoint(later)
+        assert len(later) == len(set(later))
+
+    def test_positions_required_for_area(self):
+        with pytest.raises(ValueError, match="positions"):
+            ChurnModel(self.area_cfg()).events(list(range(16)), 0, 200, rng())
+
+    def test_area_blast_run_degrades_gracefully(self):
+        """A disc covering the whole network leaves a root-only network running."""
+        cfg = small_network(num_nodes=10, num_epochs=160, seed=5).with_scenario(
+            ScenarioConfig(
+                churn=ChurnConfig(
+                    death_rate=0.0,
+                    area_epoch=40,
+                    area_radius=1e9,
+                    area_center=(50.0, 50.0),
+                )
+            )
+        )
+        result = run_experiment(cfg)
+        kills = [e for e in result.scenario_events if e[1] == "kill"]
+        assert len(kills) == 9
+        assert result.alive_at_end == {0}
+        assert result.num_queries > 0  # queries keep flowing post-blast
+
+    def test_area_blast_revive_restores_the_network(self):
+        cfg = small_network(num_nodes=10, num_epochs=240, seed=5).with_scenario(
+            ScenarioConfig(
+                churn=ChurnConfig(
+                    death_rate=0.0,
+                    area_epoch=40,
+                    area_radius=60.0,
+                    area_center=(50.0, 50.0),
+                    area_revive_after=40,
+                    area_revive_stagger=2,
+                )
+            )
+        )
+        result = run_experiment(cfg)
+        kinds = {e[1] for e in result.scenario_events}
+        assert kinds == {"kill", "activate"}
+        assert len(result.alive_at_end) == 10
+
+
+class TestGroupMobilitySpec:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            MobilityConfig(mode="swarm")
+        with pytest.raises(ValueError):
+            MobilityConfig(mode="group")  # params missing
+        with pytest.raises(ValueError):
+            MobilityConfig(num_groups=3)  # mode missing
+        with pytest.raises(ValueError):
+            MobilityConfig(mode="group", num_groups=0, group_jitter=5.0)
+        with pytest.raises(ValueError):
+            MobilityConfig(mode="group", num_groups=2, group_jitter=0.0)
+
+    def test_waypoint_mode_alias(self):
+        cfg = MobilityConfig(mode="waypoint")
+        assert MobilityModel(cfg, area_size=100.0).mode == "waypoint"
+
+    def test_group_params_enter_the_hash(self):
+        base = small_network(num_nodes=10, num_epochs=80)
+
+        def scen(jitter):
+            return base.with_scenario(
+                ScenarioConfig(
+                    mobility=MobilityConfig(
+                        mode="group", num_groups=3, group_jitter=jitter
+                    )
+                )
+            )
+
+        plain = base.with_scenario(ScenarioConfig(mobility=MobilityConfig()))
+        assert config_hash(scen(5.0)) != config_hash(plain)
+        assert config_hash(scen(5.0)) != config_hash(scen(9.0))
+
+    def test_unset_group_fields_do_not_change_the_hash(self):
+        base = small_network(num_nodes=10, num_epochs=80)
+        a = base.with_scenario(ScenarioConfig(mobility=MobilityConfig()))
+        b = base.with_scenario(
+            ScenarioConfig(
+                mobility=MobilityConfig(
+                    mode=None, num_groups=None, group_jitter=None
+                )
+            )
+        )
+        assert config_hash(a) == config_hash(b)
+
+
+class TestGroupMobilityModel:
+    def make(self, n=13, num_groups=3, jitter=5.0, seed=11):
+        model = MobilityModel(
+            MobilityConfig(
+                mode="group",
+                num_groups=num_groups,
+                group_jitter=jitter,
+                mobile_fraction=1.0,
+                speed_min=1.0,
+                speed_max=2.0,
+                relink_period=10,
+            ),
+            area_size=100.0,
+        )
+        positions = {i: (float(7 * i % 90), float(5 * i % 90)) for i in range(n)}
+        model.initialise(positions, root_id=0, rng=rng(seed))
+        return model
+
+    def test_groups_partition_the_mobile_set(self):
+        model = self.make()
+        assert len(model.heads) == 3
+        assert sorted(model.head_of) == model.mobile
+        assert set(model.head_of.values()) == set(model.heads)
+        for head in model.heads:
+            assert model.head_of[head] == head
+
+    def test_members_stay_within_jitter_radius_of_their_head(self):
+        model = self.make(jitter=5.0)
+        for _ in range(20):
+            model.step()
+            for nid, head in model.head_of.items():
+                if nid == head:
+                    continue
+                dist = math.dist(model.positions[nid], model.positions[head])
+                assert dist <= 5.0 + 1e-9
+
+    def test_positions_stay_in_area(self):
+        model = self.make(jitter=40.0)
+        for _ in range(30):
+            model.step()
+        for x, y in model.positions.values():
+            assert 0.0 <= x <= 100.0 and 0.0 <= y <= 100.0
+
+    def test_deterministic_per_seed(self):
+        a, b = self.make(seed=3), self.make(seed=3)
+        for _ in range(5):
+            assert a.step() == b.step()
+
+    def test_root_never_moves(self):
+        model = self.make()
+        assert 0 not in model.mobile
+        before = model.positions[0]
+        model.step()
+        assert model.positions[0] == before
+
+    def test_more_groups_than_mobile_nodes(self):
+        model = self.make(n=4, num_groups=10)
+        assert len(model.heads) == len(model.mobile)
+        moved = model.step()
+        assert set(moved) == set(model.mobile)
+
+    def test_group_mobility_full_run(self):
+        cfg = small_network(num_nodes=12, num_epochs=120, seed=5).with_scenario(
+            ScenarioConfig(
+                mobility=MobilityConfig(
+                    mode="group",
+                    num_groups=3,
+                    group_jitter=6.0,
+                    mobile_fraction=0.8,
+                    relink_period=30,
+                )
+            )
+        )
+        result = run_experiment(cfg)
+        assert result.num_relinks == 3
+        assert len(result.alive_at_end) == 12

@@ -39,6 +39,16 @@ GOLDEN_SMALL_FINGERPRINT = (
     "e0447a83ddfa3e3b65cabd903305114e8934a3381e5f34d6b3a33c4d75a51bfd"
 )
 
+# Golden scenario-config hashes computed before the area-failure /
+# group-mobility fields were added to ChurnConfig / MobilityConfig; they
+# pin the HASH_OMIT_WHEN_UNSET convention -- extending a scenario
+# dataclass with optional fields must not move any existing cache key.
+GOLDEN_SCENARIO_HASHES = {
+    "churn-heavy": "d74a57e002f3e429dac4",
+    "mobile-40": "d4f2d501808d2f269602",
+    "harsh-mixed": "2779a75cfe57caa0bfaf",
+}
+
 
 def serial_runner() -> BatchRunner:
     return BatchRunner(max_workers=1, executor="serial", cache_dir="")
@@ -56,6 +66,10 @@ class TestHashCompatibility:
         assert spec.key == GOLDEN_SMALL_KEY
         (result,) = serial_runner().run([spec])
         assert result.fingerprint() == GOLDEN_SMALL_FINGERPRINT
+
+    def test_pre_extension_scenario_hashes_unchanged(self):
+        for name, golden in GOLDEN_SCENARIO_HASHES.items():
+            assert config_hash(build_config(name, 400, 1)) == golden, name
 
     def test_scenario_parameters_enter_the_hash(self):
         base = small_network(num_nodes=10, num_epochs=80)
@@ -189,6 +203,80 @@ class TestScenarioRuns:
         assert nid in world.alive
         assert not battery.depleted
         assert battery.remaining == battery.capacity
+
+    def test_fresh_battery_does_not_inherit_pre_death_spend(self):
+        # A node dies mid-check-interval and is revived with a fresh
+        # battery (a battery swap).  The energy it spent between its last
+        # energy check and its death -- never checkpointed, because checks
+        # skip dead nodes -- must not be debited from the new battery at
+        # the next check, or the swap re-kills the node.  Checks land at
+        # 55/110/165; the kill at 108 leaves ~50 epochs of un-checkpointed
+        # spend, and the victim's capacity sits between its post-revival
+        # spend (one check interval) and that spend plus the dead tail, so
+        # inheriting the tail would deplete the battery at epoch 165.
+        from repro.energy.battery import Battery
+        from repro.experiments.config import TopologyEvent
+
+        victim = 5
+        cfg = small_network(num_nodes=8, num_epochs=180, seed=7).replace(
+            topology_events=[
+                TopologyEvent(epoch=108, kind=TopologyEvent.KILL, node_id=victim),
+                TopologyEvent(epoch=112, kind=TopologyEvent.ACTIVATE, node_id=victim),
+            ],
+            scenario=ScenarioConfig(
+                energy=EnergyConfig(
+                    capacity_low=1e9, capacity_high=1e9, check_period=55
+                )
+            ),
+        )
+        runner = ExperimentRunner(cfg)
+        runner.build().batteries[victim] = Battery(capacity=85.0)
+        result = runner.run()
+        battery_kills = {
+            nid for epoch, kind, nid in result.scenario_events
+            if kind == "kill" and epoch > 112
+        }
+        assert victim not in battery_kills
+        assert victim in result.alive_at_end
+        battery = runner.world.batteries[victim]
+        assert not battery.depleted
+        # The fresh battery paid only for post-revival traffic: one check
+        # interval's spend, well under the pre-death tail + interval sum.
+        assert 0.0 < battery.capacity - battery.remaining < 85.0
+
+    def test_activating_an_alive_node_does_not_forgive_its_spend(self):
+        # A scripted ACTIVATE on an already-alive node is a measurement
+        # no-op (PR 4 contract) -- it must not checkpoint the energy
+        # ledger either, or the spend since the last check would never be
+        # drawn from the node's unchanged battery.  With checks at 55/110
+        # and a budget below the node's epoch-0..55 spend, the battery
+        # kill must land on the *first* check despite the epoch-50
+        # activation; a forgiving checkpoint would defer it to epoch 110.
+        from repro.energy.battery import Battery
+        from repro.experiments.config import TopologyEvent
+
+        victim = 5
+        cfg = small_network(num_nodes=8, num_epochs=120, seed=7).replace(
+            topology_events=[
+                TopologyEvent(
+                    epoch=50, kind=TopologyEvent.ACTIVATE, node_id=victim
+                ),
+            ],
+            scenario=ScenarioConfig(
+                energy=EnergyConfig(
+                    capacity_low=1e9, capacity_high=1e9, check_period=55
+                )
+            ),
+        )
+        runner = ExperimentRunner(cfg)
+        runner.build().batteries[victim] = Battery(capacity=20.0)
+        result = runner.run()
+        kills = [
+            (epoch, nid)
+            for epoch, kind, nid in result.scenario_events
+            if kind == "kill"
+        ]
+        assert (55, victim) in kills
 
     def test_churn_revive_composes_with_finite_energy(self):
         cfg = small_network(num_nodes=12, num_epochs=240, seed=5).with_scenario(
