@@ -513,47 +513,76 @@ class BatchRunner:
         """Execute a sweep and return one result per spec, in input order.
 
         Identical configurations (equal :attr:`TrialSpec.key`) are executed
-        once and share a result.  ``progress`` is invoked once per finished
-        trial (cache hits included).
+        once and share a result.  ``progress`` is invoked exactly once per
+        *input spec* (cache hits and deduplicated twins included), always
+        with the result rebound to the spec it reports on -- a callback
+        never sees a twin's label or tags.  Executed results are cached on
+        disk *before* their progress callback fires, so a callback that
+        raises (or an interruption during one) cannot lose finished work.
+
+        Interruption contract: if a trial fails or the run is interrupted
+        (``KeyboardInterrupt``), every trial that already finished is still
+        written to the cache -- including parallel futures that completed
+        but had not been consumed yet -- before the exception propagates,
+        and :attr:`last_stats` reflects the partial run.  A killed sweep
+        therefore loses at most the trials that were in flight.
         """
         spec_list = list(specs)
         start = time.perf_counter()
         stats = BatchStats(total=len(spec_list), workers=self.max_workers)
         by_key: Dict[str, TrialResult] = {}
         pending: List[TrialSpec] = []
-        seen: Set[str] = set()
-        for spec in spec_list:
-            if spec.key in seen:
-                stats.deduplicated += 1
-                continue
-            seen.add(spec.key)
-            cached = self._cache_load(spec)
-            if cached is not None:
-                stats.cached += 1
-                by_key[spec.key] = cached
-                if progress is not None:
-                    progress(cached)
-            else:
-                pending.append(spec)
+        # key -> every input spec that asked for it, in input order; the
+        # progress callback fires once per waiter, rebound to that spec.
+        waiters: Dict[str, List[TrialSpec]] = {}
 
-        for result in self._execute(pending, progress):
+        def notify(result: TrialResult) -> None:
+            if progress is None:
+                return
+            for spec in waiters[result.spec.key]:
+                progress(self._rebind(result, spec))
+
+        def on_result(result: TrialResult) -> None:
             stats.executed += 1
             by_key[result.spec.key] = result
             self._cache_store(result)
+            notify(result)
 
-        stats.runtime_seconds = time.perf_counter() - start
-        self.last_stats = stats
+        try:
+            for spec in spec_list:
+                if spec.key in waiters:
+                    stats.deduplicated += 1
+                    waiters[spec.key].append(spec)
+                    continue
+                waiters[spec.key] = [spec]
+                cached = self._cache_load(spec)
+                if cached is not None:
+                    stats.cached += 1
+                    by_key[spec.key] = cached
+                else:
+                    pending.append(spec)
+            # Cache hits report progress only after the whole sweep is
+            # classified, so a deduplicated twin of a cached spec is
+            # notified too (its key is only known to be a duplicate then).
+            for result in by_key.values():
+                notify(result)
+
+            self._execute(pending, on_result)
+        finally:
+            stats.runtime_seconds = time.perf_counter() - start
+            self.last_stats = stats
         # A result produced (or cached) under one spec may be consumed by a
         # twin with a different label/tags -- e.g. two sweeps whose configs
         # hash equally.  Rebind each returned result to the spec that asked
         # for it so tag-based assembly never reads a sibling's metadata.
-        out: List[TrialResult] = []
-        for spec in spec_list:
-            result = by_key[spec.key]
-            if result.spec is not spec:
-                result = dataclasses.replace(result, spec=spec)
-            out.append(result)
-        return out
+        return [self._rebind(by_key[spec.key], spec) for spec in spec_list]
+
+    @staticmethod
+    def _rebind(result: TrialResult, spec: TrialSpec) -> TrialResult:
+        """The result as seen by ``spec`` (shared payload, own metadata)."""
+        if result.spec is spec:
+            return result
+        return dataclasses.replace(result, spec=spec)
 
     def run_replicated(
         self,
@@ -594,8 +623,18 @@ class BatchRunner:
     def _execute(
         self,
         pending: Sequence[TrialSpec],
-        progress: Optional[Callable[[TrialResult], None]],
-    ) -> Iterable[TrialResult]:
+        on_result: Callable[[TrialResult], None],
+    ) -> None:
+        """Execute ``pending``, delivering each finished trial to ``on_result``.
+
+        ``on_result`` is the caching/accounting/progress hook of
+        :meth:`run`; it runs in the coordinating thread.  On a trial
+        failure every *other* trial that already completed is delivered
+        first (so its result is cached) and then a ``RuntimeError`` naming
+        the failing trial propagates; a ``KeyboardInterrupt`` likewise
+        drains completed-but-unconsumed futures before re-raising, so an
+        interrupted sweep loses only the trials still in flight.
+        """
         if not pending:
             return
         workers = min(self.max_workers, len(pending))
@@ -607,9 +646,7 @@ class BatchRunner:
                     raise RuntimeError(
                         f"trial {spec.label!r} (key {spec.key}) failed"
                     ) from error
-                if progress is not None:
-                    progress(result)
-                yield result
+                on_result(result)
             return
         pool_cls = (
             ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
@@ -621,20 +658,45 @@ class BatchRunner:
             try:
                 while futures:
                     done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                    failure: Optional[tuple] = None
                     for future in done:
                         spec = futures.pop(future)
                         error = future.exception()
                         if error is not None:
-                            raise RuntimeError(
-                                f"trial {spec.label!r} (key {spec.key}) failed"
-                            ) from error
-                        result = future.result()
-                        if progress is not None:
-                            progress(result)
-                        yield result
+                            # Keep delivering the siblings that finished in
+                            # the same round; raise (the first) failure
+                            # only once their results are safely cached.
+                            if failure is None:
+                                failure = (spec, error)
+                            continue
+                        on_result(future.result())
+                    if failure is not None:
+                        spec, error = failure
+                        raise RuntimeError(
+                            f"trial {spec.label!r} (key {spec.key}) failed"
+                        ) from error
+            except BaseException:
+                # Completed-but-unconsumed futures (finished while the
+                # failure/interrupt was being processed) still hold real
+                # results: deliver them so they reach the cache before the
+                # exception escapes.
+                self._drain_completed(futures, on_result)
+                raise
             finally:
                 for future in futures:
                     future.cancel()
+
+    @staticmethod
+    def _drain_completed(
+        futures: Dict[Future, TrialSpec],
+        on_result: Callable[[TrialResult], None],
+    ) -> None:
+        """Deliver every already-finished, successful future in ``futures``."""
+        for future in list(futures):
+            if future.done() and not future.cancelled():
+                futures.pop(future)
+                if future.exception() is None:
+                    on_result(future.result())
 
 
 def run_sweep(

@@ -49,6 +49,10 @@ class CacheEntry:
     #: produced by a scenario/grid spec) -- what makes grid-sized caches
     #: inspectable by scenario.
     scenario: str = ""
+    #: Campaign id from the manifest tags ("" for ad-hoc entries), so
+    #: store-backed and ad-hoc cache entries are distinguishable at a
+    #: glance.
+    campaign: str = ""
 
     @property
     def paths(self) -> List[Path]:
@@ -110,6 +114,9 @@ def scan_cache(cache_dir: Path) -> List[CacheEntry]:
         scenario = (
             str(tags.get("scenario", "")) if isinstance(tags, dict) else ""
         )
+        campaign = (
+            str(tags.get("campaign", "")) if isinstance(tags, dict) else ""
+        )
         if pkl is None:
             if manifest is None:
                 continue  # unrelated JSON file, not ours to touch
@@ -124,6 +131,7 @@ def scan_cache(cache_dir: Path) -> List[CacheEntry]:
                     mtime=man.stat().st_mtime,
                     status=STATUS_ORPHAN,
                     scenario=scenario,
+                    campaign=campaign,
                 )
             )
             continue
@@ -147,6 +155,7 @@ def scan_cache(cache_dir: Path) -> List[CacheEntry]:
                 mtime=pkl.stat().st_mtime,
                 status=status,
                 scenario=scenario,
+                campaign=campaign,
             )
         )
     return entries
@@ -186,6 +195,7 @@ def _format_listing(entries: Sequence[CacheEntry], cache_dir: Path) -> str:
             e.key,
             e.label or "-",
             e.scenario or "-",
+            e.campaign or "-",
             "-" if e.version is None else e.version,
             e.status,
             f"{e.size_bytes / 1024:.1f}",
@@ -196,8 +206,8 @@ def _format_listing(entries: Sequence[CacheEntry], cache_dir: Path) -> str:
     total_kb = sum(e.size_bytes for e in entries) / 1024
     return format_table(
         headers=[
-            "key", "label", "scenario", "version", "status", "size kB",
-            "age days",
+            "key", "label", "scenario", "campaign", "version", "status",
+            "size kB", "age days",
         ],
         rows=rows,
         title=(

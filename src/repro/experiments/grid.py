@@ -52,11 +52,12 @@ from ..metrics.resilience import (
     grid_degradation_to_jsonable,
     recovery_summary,
 )
-from ..metrics.stats import DEFAULT_CONFIDENCE, DEFAULT_METRICS, ReplicateGroup
+from ..metrics.stats import DEFAULT_CONFIDENCE, ReplicateGroup
 from ..scenarios.registry import DEFAULT_SCENARIO_EPOCHS, get_scenario
 from ..scenarios.run import DEFAULT_BASELINE, format_catalogue
 from .batch import BatchRunner, BatchStats, TrialSpec, resolve_cache_dir
 from .config import ExperimentConfig
+from .store import DEFAULT_STORE_NAME, STORE_METRICS, ResultsStore
 
 #: Protocol variants a grid can cross scenarios with: name -> (config
 #: transform, ``--list`` description).  ``dirq`` is the identity -- the
@@ -85,9 +86,11 @@ PROTOCOLS: Dict[str, Callable[[ExperimentConfig], ExperimentConfig]] = {
 DEFAULT_PROTOCOLS = tuple(_PROTOCOL_DEFS)
 
 #: Grid metrics: every default replicate metric plus the total radio energy
-#: of the run (protocol-agnostic, unlike ``total_dirq_cost``).
-GRID_METRICS = dict(DEFAULT_METRICS)
-GRID_METRICS["total_energy"] = lambda r: float(r.ledger.total_cost())
+#: of the run (protocol-agnostic, unlike ``total_dirq_cost``).  This is the
+#: store's metric set by construction -- the campaign store persists
+#: exactly these scalars as columns, which is what lets ``--from-campaign``
+#: render the same matrices without touching the pickle cache.
+GRID_METRICS = dict(STORE_METRICS)
 
 #: Metrics rendered as scenario×protocol matrices (one table each).
 MATRIX_METRICS = ("mean_accuracy", "total_energy", "cost_ratio")
@@ -163,6 +166,41 @@ def run_grid(
         key = (str(group.tags["scenario"]), str(group.tags["protocol"]))
         cells[key] = group
     return cells, runner.last_stats
+
+
+def campaign_cells(
+    store: ResultsStore, campaign_ref: str
+) -> Tuple[GridCells, List[str], List[str]]:
+    """Grid cells rebuilt from a campaign's results store.
+
+    Resolves ``campaign_ref`` (id or unique name), folds the stored scalar
+    metrics into :class:`ReplicateGroup` cells keyed ``(scenario,
+    protocol)``, and returns the scenario/protocol axes in the campaign
+    spec's declared order.  Raises ``ValueError`` for campaigns with more
+    than one sweep point -- a swept campaign is several grids, and which
+    one to render is not this function's call (filter with
+    ``repro.experiments.campaign --query`` instead).
+
+    Recovery matrices need the full per-epoch update series, which the
+    store deliberately does not persist, so store-backed grids render
+    recovery cells as ``-``.
+    """
+    row = store.resolve_campaign(campaign_ref)
+    spec = row.spec_jsonable
+    groups = store.replicate_groups(row.campaign_id)
+    sweeps = {json.dumps(g.tags["sweep"], sort_keys=True) for g in groups}
+    if len(sweeps) > 1:
+        raise ValueError(
+            f"campaign {row.campaign_id} has {len(sweeps)} sweep points; "
+            "a grid renders exactly one -- query the store per point "
+            "instead"
+        )
+    cells: GridCells = {}
+    for group in groups:
+        cells[(str(group.tags["scenario"]), str(group.tags["protocol"]))] = group
+    scenarios = [s for s in spec["scenarios"] if any(k[0] == s for k in cells)]
+    protocols = [p for p in spec["protocols"] if any(k[1] == p for k in cells)]
+    return cells, scenarios, protocols
 
 
 def grid_recovery(
@@ -309,6 +347,98 @@ def _csv(value: str) -> List[str]:
     )
 
 
+def _main_from_campaign(args) -> int:
+    """The ``--from-campaign`` path: matrices straight from the store."""
+    store_path = (
+        Path(args.store)
+        if args.store is not None
+        else Path(resolve_cache_dir(args.cache_dir)) / DEFAULT_STORE_NAME
+    )
+    if not store_path.is_file():
+        print(f"error: results store {store_path} does not exist", file=sys.stderr)
+        return 2
+    with ResultsStore(store_path) as store:
+        try:
+            cells, scenarios, protocols = campaign_cells(
+                store, args.from_campaign
+            )
+        except (KeyError, ValueError) as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        campaign_id = store.resolve_campaign(args.from_campaign).campaign_id
+    if not cells:
+        print(
+            f"error: campaign {campaign_id} has no stored trials yet",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline = args.baseline
+    with_baseline = baseline != "none" and any(
+        scenario == baseline for scenario, _ in cells
+    )
+    recovery: Dict[Tuple[str, str], object] = {}  # series not stored -> '-'
+    degradation = (
+        grid_degradation(cells, baseline) if with_baseline else []
+    )
+
+    n_values = sorted({group.n for group in cells.values()})
+    print(
+        f"scenario grid from campaign {campaign_id} (store {store_path}): "
+        f"{len(scenarios)} scenarios x {len(protocols)} protocols | "
+        f"{len(cells)} cells, replicates per cell: "
+        f"{'/'.join(str(n) for n in n_values)} | 0 trials executed"
+    )
+    print()
+    print(
+        format_grid_report(
+            cells,
+            scenarios,
+            protocols,
+            recovery,
+            degradation,
+            baseline=baseline,
+        )
+    )
+
+    payload = {
+        "campaign_id": campaign_id,
+        "confidence": DEFAULT_CONFIDENCE,
+        **grid_to_jsonable(
+            cells,
+            scenarios,
+            protocols,
+            recovery,
+            degradation,
+            baseline=baseline if with_baseline else "",
+        ),
+    }
+    json_path = Path(args.json_path or "grid.json")
+    json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    print()
+    print(f"JSON export written to {json_path}")
+
+    if args.markdown_path:
+        md = (
+            "# Scenario × protocol grid\n\n"
+            f"Rendered from campaign `{campaign_id}` "
+            f"(results store, no trials executed).\n\n"
+            + format_grid_report(
+                cells,
+                scenarios,
+                protocols,
+                recovery,
+                degradation,
+                baseline=baseline,
+                markdown=True,
+            )
+            + "\n"
+        )
+        Path(args.markdown_path).write_text(md)
+        print(f"markdown report written to {args.markdown_path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description=(
@@ -409,11 +539,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="exit non-zero unless the grid executed zero trials (CI check)",
     )
+    parser.add_argument(
+        "--from-campaign",
+        default=None,
+        metavar="ID_OR_NAME",
+        help=(
+            "render the matrices from a campaign's results store instead "
+            "of running trials (no pickle cache touched; recovery renders "
+            "as '-')"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "with --from-campaign: results store path (default: "
+            f"<cache-dir>/{DEFAULT_STORE_NAME})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         _print_catalogue()
         return 0
+    if args.from_campaign is not None:
+        return _main_from_campaign(args)
+    if args.store is not None:
+        parser.error("--store only makes sense with --from-campaign")
     if args.scenarios is None:
         parser.error("--scenarios is required (or use --list)")
     if args.replicates < 1:

@@ -1,0 +1,390 @@
+"""Queryable SQLite store of campaign trial results.
+
+The pickle cache (:mod:`repro.experiments.batch`) remembers *individual
+trials* keyed by config hash; it answers "have I simulated this exact
+config?" but keeps no record of *campaigns* -- which sweeps ran, over what
+parameter space, and what came out.  :class:`ResultsStore` is that durable
+record: one SQLite file holding
+
+* a ``campaigns`` table -- one row per registered
+  :class:`~repro.experiments.campaign.CampaignSpec` (its canonical JSON,
+  its deterministic id, and the expanded trial count), and
+* a ``trials`` table -- one row per finished trial with its identity
+  columns (campaign, scenario, protocol, sweep point, replicate, config
+  hash, seed) and the scalar metrics of :data:`STORE_METRICS` as real,
+  SQL-queryable columns, plus the trial fingerprint and the full canonical
+  config JSON.
+
+Durability contract
+-------------------
+:meth:`ResultsStore.record_trial` upserts **one row per finished trial in
+its own transaction**, so a killed process (crash, OOM, Ctrl-C, a downed
+host) loses at most the trials that were in flight; everything recorded is
+immediately visible to ``run_missing`` on the next resume -- including a
+resume running on a different host against a shared file.  Rows are keyed
+``(campaign_id, key)`` and re-recording is idempotent.
+
+Determinism contract
+--------------------
+:meth:`export_jsonable` contains only identity columns, metrics, and
+fingerprints -- never runtimes, timestamps, or cache provenance -- and
+orders rows by ``(scenario, protocol, sweep, replicate)``, so a campaign's
+export is byte-identical no matter how many workers ran it, how often it
+was interrupted and resumed, or in which order trials finished.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from ..metrics.stats import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_METRICS,
+    ReplicateGroup,
+    ReplicateSummary,
+)
+from .batch import CACHE_VERSION, _canonical
+
+#: Default store filename (created inside the cache directory unless an
+#: explicit ``--store`` path is given, so campaign state lives next to the
+#: pickle cache it composes with).
+DEFAULT_STORE_NAME = "campaigns.sqlite"
+
+#: Scalar metrics persisted as real columns of the ``trials`` table --
+#: every default replicate metric plus the protocol-agnostic total radio
+#: energy.  The grid layer renders its matrices from this same set, which
+#: is what lets grid matrices be reproduced from a campaign store alone.
+STORE_METRICS: Dict[str, Callable[[object], float]] = dict(DEFAULT_METRICS)
+STORE_METRICS["total_energy"] = lambda r: float(r.ledger.total_cost())
+
+#: Column order of the metric columns (stable: dict insertion order).
+METRIC_COLUMNS = tuple(STORE_METRICS)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id   TEXT PRIMARY KEY,
+    name          TEXT NOT NULL,
+    spec_json     TEXT NOT NULL,
+    total_trials  INTEGER NOT NULL,
+    cache_version INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS trials (
+    campaign_id     TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    key             TEXT NOT NULL,
+    scenario        TEXT NOT NULL,
+    protocol        TEXT NOT NULL,
+    sweep_json      TEXT NOT NULL,
+    replicate       INTEGER NOT NULL,
+    base_key        TEXT NOT NULL,
+    base_label      TEXT NOT NULL,
+    label           TEXT NOT NULL,
+    seed            INTEGER NOT NULL,
+    num_epochs      INTEGER NOT NULL,
+    fingerprint     TEXT NOT NULL,
+    {metric_columns},
+    runtime_seconds REAL NOT NULL,
+    from_cache      INTEGER NOT NULL,
+    config_json     TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, key)
+);
+CREATE INDEX IF NOT EXISTS trials_by_cell
+    ON trials (campaign_id, scenario, protocol, replicate);
+""".format(
+    metric_columns=",\n    ".join(f'"{name}" REAL' for name in METRIC_COLUMNS)
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignRow:
+    """One registered campaign as stored."""
+
+    campaign_id: str
+    name: str
+    spec_json: str
+    total_trials: int
+    cache_version: int
+
+    @property
+    def spec_jsonable(self) -> Dict[str, object]:
+        return json.loads(self.spec_json)
+
+
+class ResultsStore:
+    """The SQLite results repository backing resumable campaigns.
+
+    A store is cheap to open and safe to share between processes (SQLite
+    WAL journal, one short transaction per finished trial); N workers or
+    N hosts pointing ``run_missing`` at the same file drain one trial
+    queue with zero duplicated work.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        # WAL keeps readers (status/query/other workers) unblocked while a
+        # trial row commits; NORMAL sync still guarantees commit atomicity
+        # -- a crash loses at most the in-flight transaction, which is
+        # exactly the store's durability contract.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- campaigns -----------------------------------------------------------
+
+    def register_campaign(
+        self, campaign_id: str, name: str, spec_json: str, total_trials: int
+    ) -> None:
+        """Record a campaign's identity (idempotent for an identical spec).
+
+        Raises ``ValueError`` if the id is already registered with a
+        *different* spec -- the id is a content hash, so this only happens
+        when two genuinely different specs collide on a hand-given id,
+        which must never be silently merged.
+        """
+        existing = self.campaign(campaign_id)
+        if existing is not None:
+            if existing.spec_json != spec_json:
+                raise ValueError(
+                    f"campaign {campaign_id!r} is already registered with a "
+                    "different spec"
+                )
+            return
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO campaigns "
+                "(campaign_id, name, spec_json, total_trials, cache_version) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (campaign_id, name, spec_json, total_trials, CACHE_VERSION),
+            )
+
+    def campaign(self, campaign_id: str) -> Optional[CampaignRow]:
+        row = self._conn.execute(
+            "SELECT * FROM campaigns WHERE campaign_id = ?", (campaign_id,)
+        ).fetchone()
+        return None if row is None else CampaignRow(**dict(row))
+
+    def campaigns(self) -> List[CampaignRow]:
+        """Every registered campaign, ordered by id."""
+        rows = self._conn.execute(
+            "SELECT * FROM campaigns ORDER BY campaign_id"
+        ).fetchall()
+        return [CampaignRow(**dict(r)) for r in rows]
+
+    def resolve_campaign(self, ref: str) -> CampaignRow:
+        """The campaign matching ``ref`` -- an exact id or a unique name.
+
+        Raises ``KeyError`` when nothing matches or a bare name is
+        ambiguous (several registered parameterisations share it).
+        """
+        exact = self.campaign(ref)
+        if exact is not None:
+            return exact
+        matches = [row for row in self.campaigns() if row.name == ref]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            known = ", ".join(r.campaign_id for r in self.campaigns()) or "none"
+            raise KeyError(f"unknown campaign {ref!r}; registered: {known}")
+        raise KeyError(
+            f"campaign name {ref!r} is ambiguous: "
+            + ", ".join(r.campaign_id for r in matches)
+        )
+
+    # -- trials --------------------------------------------------------------
+
+    def record_trial(self, campaign_id: str, result) -> None:
+        """Upsert one finished trial, atomically (one transaction per call).
+
+        ``result`` is a :class:`~repro.experiments.batch.TrialResult` whose
+        spec carries the campaign expansion tags (``scenario``,
+        ``protocol``, ``sweep``, ``replicate``, ``base_key`` /
+        ``base_label``); trials from un-tagged specs fall back to blank
+        identity columns but are stored all the same.
+        """
+        spec = result.spec
+        tags = spec.tags
+        sweep = tags.get("sweep") or {}
+        row = {
+            "campaign_id": campaign_id,
+            "key": spec.key,
+            "scenario": str(tags.get("scenario", "")),
+            "protocol": str(tags.get("protocol", "")),
+            "sweep_json": json.dumps(
+                _canonical(sweep), sort_keys=True, separators=(",", ":")
+            ),
+            "replicate": int(tags.get("replicate", 0)),
+            "base_key": str(tags.get("base_key", spec.key)),
+            "base_label": str(tags.get("base_label", spec.label)),
+            "label": spec.label,
+            "seed": int(spec.config.seed),
+            "num_epochs": int(spec.config.num_epochs),
+            "fingerprint": result.fingerprint(),
+            "runtime_seconds": float(result.runtime_seconds),
+            "from_cache": int(bool(result.from_cache)),
+            "config_json": json.dumps(
+                _canonical(spec.config), sort_keys=True, separators=(",", ":")
+            ),
+        }
+        for name, extractor in STORE_METRICS.items():
+            row[name] = float(extractor(result))
+        columns = list(row)
+        placeholders = ", ".join("?" for _ in columns)
+        quoted = ", ".join(f'"{c}"' for c in columns)
+        with self._conn:
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO trials ({quoted}) "
+                f"VALUES ({placeholders})",
+                [row[c] for c in columns],
+            )
+
+    def completed_keys(self, campaign_id: str) -> Set[str]:
+        """Config hashes of every recorded trial of the campaign."""
+        rows = self._conn.execute(
+            "SELECT key FROM trials WHERE campaign_id = ?", (campaign_id,)
+        ).fetchall()
+        return {row["key"] for row in rows}
+
+    def count(self, campaign_id: str) -> int:
+        (n,) = self._conn.execute(
+            "SELECT COUNT(*) FROM trials WHERE campaign_id = ?", (campaign_id,)
+        ).fetchone()
+        return int(n)
+
+    def query(
+        self,
+        campaign_id: str,
+        scenario: Optional[str] = None,
+        protocol: Optional[str] = None,
+        replicate: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Stored trial rows, filtered and deterministically ordered.
+
+        Rows come back as plain dicts (identity columns + metric columns +
+        fingerprint), ordered by ``(scenario, protocol, sweep, replicate,
+        key)`` -- independent of insertion order, so a query over a
+        resumed campaign matches the uninterrupted one.
+        """
+        clauses = ["campaign_id = ?"]
+        params: List[object] = [campaign_id]
+        if scenario is not None:
+            clauses.append("scenario = ?")
+            params.append(scenario)
+        if protocol is not None:
+            clauses.append("protocol = ?")
+            params.append(protocol)
+        if replicate is not None:
+            clauses.append("replicate = ?")
+            params.append(int(replicate))
+        rows = self._conn.execute(
+            "SELECT * FROM trials WHERE " + " AND ".join(clauses) +
+            " ORDER BY scenario, protocol, sweep_json, replicate, key",
+            params,
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    # -- derived views -------------------------------------------------------
+
+    def replicate_groups(
+        self,
+        campaign_id: str,
+        confidence: float = DEFAULT_CONFIDENCE,
+    ) -> List[ReplicateGroup]:
+        """Replicate-folded summaries of the stored scalars, one per cell.
+
+        Rebuilds :class:`~repro.metrics.stats.ReplicateGroup` objects from
+        the stored metric columns alone (``group.results`` holds the raw
+        row dicts), so mean-and-CI tables and grid matrices render from
+        the store without unpickling a single cached trial.
+        """
+        buckets: Dict[tuple, List[Dict[str, object]]] = {}
+        for row in self.query(campaign_id):
+            cell = (row["scenario"], row["protocol"], row["sweep_json"])
+            buckets.setdefault(cell, []).append(row)
+        groups: List[ReplicateGroup] = []
+        for cell, rows in buckets.items():
+            scenario, protocol, sweep_json = cell
+            first = rows[0]
+            summaries = {
+                name: ReplicateSummary.from_values(
+                    name,
+                    [float(row[name]) for row in rows],
+                    confidence=confidence,
+                )
+                for name in METRIC_COLUMNS
+            }
+            tags: Dict[str, object] = {
+                "campaign": campaign_id,
+                "scenario": scenario,
+                "protocol": protocol,
+                "sweep": json.loads(sweep_json),
+            }
+            groups.append(
+                ReplicateGroup(
+                    label=str(first["base_label"]),
+                    base_key=str(first["base_key"]),
+                    group="campaign",
+                    tags=tags,
+                    results=rows,
+                    metrics=summaries,
+                    cache_hits=sum(int(row["from_cache"]) for row in rows),
+                    executed=sum(1 - int(row["from_cache"]) for row in rows),
+                )
+            )
+        return groups
+
+    def export_jsonable(self, campaign_id: str) -> Dict[str, object]:
+        """The deterministic JSON payload of a campaign's stored results.
+
+        Contains the campaign spec and one entry per stored trial --
+        identity, metrics, fingerprint -- and deliberately **no**
+        provenance (runtimes, cache hits, insertion order), so the export
+        of a resumed campaign is byte-identical to an uninterrupted run at
+        any worker count.
+        """
+        campaign = self.campaign(campaign_id)
+        if campaign is None:
+            raise KeyError(f"unknown campaign {campaign_id!r}")
+        trials = []
+        for row in self.query(campaign_id):
+            trials.append(
+                {
+                    "key": row["key"],
+                    "scenario": row["scenario"],
+                    "protocol": row["protocol"],
+                    "sweep": json.loads(row["sweep_json"]),
+                    "replicate": row["replicate"],
+                    "base_key": row["base_key"],
+                    "label": row["label"],
+                    "seed": row["seed"],
+                    "num_epochs": row["num_epochs"],
+                    "fingerprint": row["fingerprint"],
+                    "metrics": {
+                        name: row[name] for name in METRIC_COLUMNS
+                    },
+                }
+            )
+        return {
+            "campaign_id": campaign.campaign_id,
+            "name": campaign.name,
+            "spec": campaign.spec_jsonable,
+            "cache_version": campaign.cache_version,
+            "total_trials": campaign.total_trials,
+            "completed_trials": len(trials),
+            "trials": trials,
+        }

@@ -157,6 +157,20 @@ def format_replicate_table(
     )
 
 
+def format_progress(done: int, total: int, width: int = 20) -> str:
+    """Render completion as ``[####----] done/total`` (empty-safe).
+
+    The campaign CLI prints one of these per scenario×protocol cell; with
+    ``total == 0`` the bar renders full, since there is nothing left to do.
+    """
+    if total <= 0:
+        fraction = 1.0
+    else:
+        fraction = max(0.0, min(1.0, done / total))
+    filled = int(round(fraction * width))
+    return f"[{'#' * filled}{'-' * (width - filled)}] {done}/{total}"
+
+
 def format_matrix(
     row_header: str,
     row_labels: Sequence[str],

@@ -7,10 +7,19 @@ The two properties the batch layer must guarantee:
   worker, or fanned across four processes.
 * **Cache short-circuiting** -- a re-run of a sweep against a populated
   cache executes zero new trials and returns identical results.
+* **Interruption durability** -- a failing trial or a ``KeyboardInterrupt``
+  mid-sweep never discards trials that already finished: they are drained
+  to the on-disk cache before the exception propagates, so a resumed sweep
+  re-executes only what was genuinely in flight.
 """
+
+import concurrent.futures
+import dataclasses
+import threading
 
 import pytest
 
+from repro.experiments import batch as batch_mod
 from repro.experiments import fig5_accuracy
 from repro.experiments.batch import (
     BatchRunner,
@@ -246,6 +255,114 @@ class TestBatchRunnerCache:
         assert result_a.completeness == result_b.completeness
 
 
+class TestBatchRunnerInterruption:
+    """A killed sweep loses at most the trials that were in flight."""
+
+    @pytest.fixture()
+    def template(self):
+        """One real TrialResult to clone (keeps fake executors picklable-free)."""
+        return BatchRunner(max_workers=1).run([tiny_specs()[0]])[0]
+
+    def test_parallel_failure_still_caches_finished_siblings(
+        self, tmp_path, monkeypatch, template
+    ):
+        """Bug regression: results finished before a sibling's failure used to
+        be discarded un-cached when the failure propagated."""
+        specs = tiny_specs()
+        goods_done = threading.Event()
+        finished = []
+        lock = threading.Lock()
+
+        def fake_execute(spec):
+            if spec.label == "delta=5":
+                # Fail only after both siblings have finished, so their
+                # results are provably complete when the error surfaces.
+                assert goods_done.wait(timeout=30)
+                raise ValueError("boom")
+            result = dataclasses.replace(template, spec=spec)
+            with lock:
+                finished.append(spec.key)
+                if len(finished) == 2:
+                    goods_done.set()
+            return result
+
+        monkeypatch.setattr(batch_mod, "_execute_trial", fake_execute)
+        runner = BatchRunner(
+            max_workers=3, executor="thread", cache_dir=tmp_path
+        )
+        with pytest.raises(RuntimeError, match="delta=5"):
+            runner.run(specs)
+        assert (tmp_path / f"{specs[0].key}.pkl").is_file()
+        assert (tmp_path / f"{specs[2].key}.pkl").is_file()
+        assert not (tmp_path / f"{specs[1].key}.pkl").exists()
+        assert runner.last_stats.executed == 2
+        # The resume only re-runs the trial that actually failed.
+        resumed = BatchRunner(
+            max_workers=3, executor="thread", cache_dir=tmp_path
+        )
+        monkeypatch.setattr(
+            batch_mod,
+            "_execute_trial",
+            lambda spec: dataclasses.replace(template, spec=spec),
+        )
+        resumed.run(specs)
+        assert resumed.last_stats.cached == 2
+        assert resumed.last_stats.executed == 1
+
+    def test_keyboard_interrupt_drains_completed_futures_to_cache(
+        self, tmp_path, monkeypatch, template
+    ):
+        """Ctrl-C between a future finishing and its consumption must not
+        lose the finished result."""
+        monkeypatch.setattr(
+            batch_mod,
+            "_execute_trial",
+            lambda spec: dataclasses.replace(template, spec=spec),
+        )
+
+        def interrupting_wait(futures, return_when=None):
+            # Let every submitted trial actually finish, then interrupt the
+            # coordinator before it can consume a single future -- the
+            # worst-case Ctrl-C timing.
+            concurrent.futures.wait(
+                list(futures),
+                return_when=concurrent.futures.ALL_COMPLETED,
+            )
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(batch_mod, "wait", interrupting_wait)
+        specs = tiny_specs()
+        runner = BatchRunner(
+            max_workers=2, executor="thread", cache_dir=tmp_path
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs)
+        for spec in specs:
+            assert (tmp_path / f"{spec.key}.pkl").is_file()
+        assert runner.last_stats.executed == len(specs)
+        second = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        second.run(specs)
+        assert second.last_stats.executed == 0
+        assert second.last_stats.cached == len(specs)
+
+    def test_executed_result_is_cached_before_progress_fires(self, tmp_path):
+        """An interruption inside a progress callback cannot lose the trial
+        the callback is reporting on."""
+        specs = tiny_specs()
+        reported = []
+
+        def bomb(result):
+            reported.append(result.spec.key)
+            raise KeyboardInterrupt
+
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs, progress=bomb)
+        assert len(reported) == 1
+        assert (tmp_path / f"{reported[0]}.pkl").is_file()
+        assert runner.last_stats.executed == 1
+
+
 class TestBatchRunnerApi:
     def test_run_map_keys_by_label_and_rejects_duplicates(self):
         specs = smoke_sweep(num_nodes=10, num_epochs=60)
@@ -267,6 +384,24 @@ class TestBatchRunnerApi:
             specs, progress=seen.append
         )
         assert len(seen) == len(specs)
+
+    def test_progress_fires_once_per_input_spec_rebound(self, tmp_path):
+        """Bug regression: deduplicated twins used to get no callback, and
+        cache hits used to report the cached twin's spec (wrong label)."""
+        spec = tiny_specs()[0]
+        twin = TrialSpec(label="twin", config=spec.config, group="test")
+        seen = []
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run([spec, twin], progress=lambda r: seen.append(r.spec.label))
+        assert seen == [spec.label, "twin"]
+        assert runner.last_stats.deduplicated == 1
+        # Cache-hit path: the dedup twin of a cached spec is notified too,
+        # and each callback sees its own spec's label.
+        seen.clear()
+        cached = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        cached.run([spec, twin], progress=lambda r: seen.append(r.spec.label))
+        assert seen == [spec.label, "twin"]
+        assert cached.last_stats.executed == 0
 
     def test_invalid_arguments_are_rejected(self):
         with pytest.raises(ValueError):

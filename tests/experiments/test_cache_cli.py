@@ -174,6 +174,32 @@ class TestScanAndPrune:
         tiny_line = next(line for line in out.splitlines() if "tiny" in line)
         assert " - " in tiny_line
 
+    def test_list_shows_campaign_id_when_present(self, tmp_path, capsys):
+        """Store-backed and ad-hoc cache entries are distinguishable."""
+        from repro.experiments.campaign import CampaignSpec, run_missing
+        from repro.experiments.store import ResultsStore
+
+        spec = CampaignSpec(
+            name="cachetest",
+            scenarios=("static-paper",),
+            protocols=("dirq",),
+            num_epochs=60,
+        )
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            run_missing(spec, store, runner=runner)
+        self.populate(tmp_path)  # an ad-hoc entry alongside
+        entries = {e.key: e for e in cache_cli.scan_cache(tmp_path)}
+        (trial,) = spec.trial_specs()
+        assert entries[trial.key].campaign == spec.campaign_id
+        assert cache_cli.main(["--list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out  # the column header
+        assert spec.campaign_id in out
+        # The ad-hoc entry renders a placeholder in the campaign column.
+        tiny_line = next(line for line in out.splitlines() if "tiny" in line)
+        assert tiny_line.count(" - ") >= 2  # scenario and campaign
+
     def test_list_empty_cache(self, tmp_path, capsys):
         assert cache_cli.main(["--cache-dir", str(tmp_path / "none")]) == 0
         assert "empty" in capsys.readouterr().out

@@ -1,0 +1,501 @@
+"""Tests for resumable campaigns: spec expansion, the results store, resume
+semantics, and the ``python -m repro.experiments.campaign`` CLI.
+
+The two properties this layer exists for:
+
+* **Resume with zero re-work** -- a campaign killed at an arbitrary trial
+  resumes executing exactly the missing trials (store rows survive, nothing
+  recorded is ever re-run), even with the pickle cache disabled.
+* **Deterministic exports** -- the JSON export of a campaign is
+  byte-identical whether it ran uninterrupted on one worker or was
+  interrupted and resumed on four.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import batch as batch_mod
+from repro.experiments import campaign as campaign_cli
+from repro.experiments.batch import BatchRunner
+from repro.experiments.campaign import (
+    CampaignSpec,
+    campaign_status,
+    run_missing,
+)
+from repro.experiments.store import (
+    METRIC_COLUMNS,
+    ResultsStore,
+)
+from repro.scenarios.registry import scenario_spec
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+def tiny_campaign(**changes) -> CampaignSpec:
+    base = dict(
+        name="tiny",
+        scenarios=("static-paper",),
+        protocols=("dirq", "flooding"),
+        replicates=2,
+        num_epochs=60,
+        seed=1,
+    )
+    base.update(changes)
+    return CampaignSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def trial_template():
+    """One real TrialResult to clone in the fake-executor tests."""
+    spec = scenario_spec("static-paper", num_epochs=60)
+    return BatchRunner(max_workers=1, cache_dir=None).run([spec])[0]
+
+
+def fake_executor(template):
+    def execute(spec):
+        return dataclasses.replace(template, spec=spec)
+
+    return execute
+
+
+class TestCampaignSpec:
+    def test_expansion_is_deterministic_and_row_major(self):
+        spec = tiny_campaign()
+        trials = spec.trial_specs()
+        assert len(trials) == spec.total_trials == 1 * 2 * 1 * 2
+        # scenarios > protocols > sweep > replicates, row-major.
+        assert [t.tags["protocol"] for t in trials] == [
+            "dirq", "dirq", "flooding", "flooding",
+        ]
+        assert [t.tags["replicate"] for t in trials] == [0, 1, 0, 1]
+        assert [t.key for t in spec.trial_specs()] == [t.key for t in trials]
+        assert len({t.key for t in trials}) == len(trials)
+        assert all(t.tags["campaign"] == spec.campaign_id for t in trials)
+
+    def test_campaign_id_is_content_addressed(self):
+        spec = tiny_campaign()
+        assert spec.campaign_id == tiny_campaign().campaign_id
+        assert spec.campaign_id.startswith("tiny-")
+        assert (
+            tiny_campaign(replicates=3).campaign_id != spec.campaign_id
+        )
+        assert (
+            tiny_campaign(name="spaced name").campaign_id.startswith(
+                "spaced-name-"
+            )
+        )
+
+    def test_dirq_cell_shares_cache_key_with_scenario_cli(self):
+        """The campaign tag lives in the spec tags, not the config, so the
+        plain dirq cell hashes exactly like the scenario CLI's spec."""
+        spec = tiny_campaign(protocols=("dirq",), replicates=1)
+        (trial,) = spec.trial_specs()
+        assert trial.key == scenario_spec("static-paper", num_epochs=60).key
+
+    def test_sweep_cross_product_and_epoch_special_case(self):
+        spec = tiny_campaign(
+            protocols=("dirq",),
+            replicates=1,
+            sweep={
+                "target_coverage": (0.2, 0.4),
+                "num_epochs": (60, 80),
+            },
+        )
+        points = spec.sweep_points()
+        assert len(points) == 4
+        trials = spec.trial_specs()
+        assert spec.total_trials == len(trials) == 4
+        # num_epochs routes through the scenario factory.
+        assert sorted({t.config.num_epochs for t in trials}) == [60, 80]
+        assert sorted({t.config.target_coverage for t in trials}) == [0.2, 0.4]
+        assert len({t.key for t in trials}) == 4
+
+    def test_jsonable_roundtrip_preserves_identity(self):
+        spec = tiny_campaign(sweep={"target_coverage": (0.2, 0.4)})
+        clone = CampaignSpec.from_jsonable(
+            json.loads(json.dumps(spec.to_jsonable()))
+        )
+        assert clone == spec
+        assert clone.campaign_id == spec.campaign_id
+
+    def test_validation_rejects_bad_spaces(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            tiny_campaign(scenarios=("no-such",))
+        with pytest.raises(KeyError, match="unknown protocol"):
+            tiny_campaign(protocols=("udp",))
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            tiny_campaign(scenarios=("static-paper", "static-paper"))
+        with pytest.raises(ValueError, match="replicates"):
+            tiny_campaign(replicates=0)
+        with pytest.raises(ValueError, match="cannot sweep"):
+            tiny_campaign(sweep={"seed": (1, 2)})
+        with pytest.raises(ValueError, match="cannot sweep"):
+            tiny_campaign(sweep={"no_such_field": (1,)})
+        with pytest.raises(ValueError, match="no values"):
+            tiny_campaign(sweep={"target_coverage": ()})
+        with pytest.raises(ValueError, match="duplicate values"):
+            tiny_campaign(sweep={"target_coverage": (0.2, 0.2)})
+        with pytest.raises(ValueError, match="scalars"):
+            tiny_campaign(sweep={"target_coverage": ([0.2],)})
+
+
+class TestResultsStore:
+    def populate(self, tmp_path, template, spec=None):
+        spec = spec or tiny_campaign()
+        store = ResultsStore(tmp_path / "s.sqlite")
+        runner = BatchRunner(max_workers=1, executor="serial", cache_dir=None)
+        real = batch_mod._execute_trial
+        batch_mod._execute_trial = fake_executor(template)
+        try:
+            stats = run_missing(spec, store, runner=runner)
+        finally:
+            batch_mod._execute_trial = real
+        return spec, store, stats
+
+    def test_register_is_idempotent_but_rejects_spec_drift(self, tmp_path):
+        spec = tiny_campaign()
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            for _ in range(2):
+                store.register_campaign(
+                    spec.campaign_id, spec.name, spec.spec_json, 4
+                )
+            assert store.campaign(spec.campaign_id).total_trials == 4
+            with pytest.raises(ValueError, match="different spec"):
+                store.register_campaign(
+                    spec.campaign_id, spec.name, "{}", 4
+                )
+
+    def test_record_query_and_completed_keys(self, tmp_path, trial_template):
+        spec, store, stats = self.populate(tmp_path, trial_template)
+        with store:
+            assert stats.executed == stats.stored == 4
+            assert store.count(spec.campaign_id) == 4
+            keys = store.completed_keys(spec.campaign_id)
+            assert keys == {t.key for t in spec.trial_specs()}
+            rows = store.query(spec.campaign_id)
+            # Deterministic order: protocol before replicate.
+            assert [(r["protocol"], r["replicate"]) for r in rows] == [
+                ("dirq", 0), ("dirq", 1), ("flooding", 0), ("flooding", 1),
+            ]
+            assert all(
+                isinstance(r[name], float) for r in rows for name in METRIC_COLUMNS
+            )
+            only = store.query(spec.campaign_id, protocol="dirq", replicate=1)
+            assert len(only) == 1 and only[0]["replicate"] == 1
+            # Re-recording is an upsert, not a duplicate row.
+            assert store.count(spec.campaign_id) == 4
+
+    def test_resolve_campaign_by_id_name_and_ambiguity(
+        self, tmp_path, trial_template
+    ):
+        spec, store, _ = self.populate(tmp_path, trial_template)
+        with store:
+            assert store.resolve_campaign(spec.campaign_id).name == "tiny"
+            assert (
+                store.resolve_campaign("tiny").campaign_id == spec.campaign_id
+            )
+            with pytest.raises(KeyError, match="unknown campaign"):
+                store.resolve_campaign("nope")
+            other = tiny_campaign(replicates=3)
+            store.register_campaign(
+                other.campaign_id, other.name, other.spec_json,
+                other.total_trials,
+            )
+            with pytest.raises(KeyError, match="ambiguous"):
+                store.resolve_campaign("tiny")
+
+    def test_replicate_groups_fold_cells(self, tmp_path, trial_template):
+        spec, store, _ = self.populate(tmp_path, trial_template)
+        with store:
+            groups = store.replicate_groups(spec.campaign_id)
+            assert len(groups) == 2  # one per (scenario, protocol)
+            assert all(g.n == 2 for g in groups)
+            assert {g.tags["protocol"] for g in groups} == {
+                "dirq", "flooding",
+            }
+            for group in groups:
+                assert set(METRIC_COLUMNS) <= set(group.metrics)
+
+    def test_export_contains_no_provenance(self, tmp_path, trial_template):
+        spec, store, _ = self.populate(tmp_path, trial_template)
+        with store:
+            payload = store.export_jsonable(spec.campaign_id)
+        assert payload["completed_trials"] == payload["total_trials"] == 4
+        text = json.dumps(payload)
+        assert "runtime" not in text and "from_cache" not in text
+        assert all(
+            set(METRIC_COLUMNS) == set(t["metrics"]) for t in payload["trials"]
+        )
+
+
+class TestRunMissingResume:
+    def big_campaign(self) -> CampaignSpec:
+        # 2 scenarios x 2 protocols x (5 x 5 sweep points) x 10 replicates
+        # = 1000 cells, per the acceptance criteria.
+        return CampaignSpec(
+            name="big",
+            scenarios=("static-paper", "churn-heavy"),
+            protocols=("dirq", "atc"),
+            replicates=10,
+            num_epochs=60,
+            sweep={
+                "target_coverage": (0.1, 0.2, 0.3, 0.4, 0.5),
+                "query_period": (10, 20, 30, 40, 50),
+            },
+        )
+
+    def run(self, spec, store, template, workers=1, progress=None,
+            counter=None):
+        """run_missing with a fake executor (threads, no pickle cache)."""
+        executor = "serial" if workers == 1 else "thread"
+        runner = BatchRunner(
+            max_workers=workers, executor=executor, cache_dir=None
+        )
+        real = batch_mod._execute_trial
+        base = fake_executor(template)
+
+        def counting(spec_):
+            if counter is not None:
+                counter.append(spec_.key)
+            return base(spec_)
+
+        batch_mod._execute_trial = counting
+        try:
+            return run_missing(spec, store, runner=runner, progress=progress)
+        finally:
+            batch_mod._execute_trial = real
+
+    def test_thousand_cell_campaign_resumes_with_zero_rework(
+        self, tmp_path, trial_template
+    ):
+        spec = self.big_campaign()
+        assert spec.total_trials == 1000
+        interrupt_at = 137  # an arbitrary mid-campaign trial
+        seen = []
+
+        def interrupting(result):
+            seen.append(result)
+            if len(seen) == interrupt_at:
+                raise KeyboardInterrupt
+
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            with pytest.raises(KeyboardInterrupt):
+                self.run(
+                    spec, store, trial_template, progress=interrupting
+                )
+            # Every trial recorded before the kill survived it.
+            assert store.count(spec.campaign_id) == interrupt_at
+
+            executed = []
+            stats = self.run(spec, store, trial_template, counter=executed)
+            assert stats.complete_before == interrupt_at
+            assert stats.scheduled == 1000 - interrupt_at
+            assert stats.executed == len(executed) == 1000 - interrupt_at
+            # Nothing recorded was re-executed.
+            assert not {k for k in executed} & {
+                r.spec.key for r in seen[:interrupt_at]
+            }
+            assert store.count(spec.campaign_id) == 1000
+
+            # A third pass over the complete campaign executes nothing.
+            third = self.run(spec, store, trial_template)
+            assert third.scheduled == third.executed == 0
+            assert store.count(spec.campaign_id) == 1000
+
+    def test_interrupted_multiworker_export_matches_serial_run(
+        self, tmp_path, trial_template
+    ):
+        spec = tiny_campaign(
+            replicates=3, sweep={"target_coverage": (0.2, 0.4)}
+        )
+
+        with ResultsStore(tmp_path / "serial.sqlite") as store:
+            self.run(spec, store, trial_template, workers=1)
+            reference = json.dumps(
+                store.export_jsonable(spec.campaign_id), sort_keys=True,
+                indent=2,
+            )
+
+        calls = []
+
+        def interrupting(result):
+            calls.append(result)
+            if len(calls) == 5:
+                raise KeyboardInterrupt
+
+        with ResultsStore(tmp_path / "resumed.sqlite") as store:
+            with pytest.raises(KeyboardInterrupt):
+                self.run(
+                    spec, store, trial_template, workers=4,
+                    progress=interrupting,
+                )
+            self.run(spec, store, trial_template, workers=4)
+            resumed = json.dumps(
+                store.export_jsonable(spec.campaign_id), sort_keys=True,
+                indent=2,
+            )
+        assert resumed == reference
+
+    def test_campaign_composes_with_scenario_cli_cache(self, tmp_path):
+        """A trial cached by repro.scenarios.run is not re-run -- but it IS
+        recorded in the store."""
+        cache_dir = tmp_path / "cache"
+        cli_spec = scenario_spec("static-paper", num_epochs=60)
+        BatchRunner(max_workers=1, cache_dir=cache_dir).run([cli_spec])
+
+        spec = tiny_campaign(protocols=("dirq",), replicates=1)
+        runner = BatchRunner(max_workers=1, cache_dir=cache_dir)
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            stats = run_missing(spec, store, runner=runner)
+            assert stats.executed == 0
+            assert stats.cached == 1
+            assert stats.stored == 1
+            (row,) = store.query(spec.campaign_id)
+            # The store row carries the campaign's identity, not the cached
+            # twin's label.
+            assert row["scenario"] == "static-paper"
+            assert row["label"] == "static-paper/dirq"
+
+    def test_campaign_status_counts_cells(self, tmp_path, trial_template):
+        spec = tiny_campaign()
+        with ResultsStore(tmp_path / "s.sqlite") as store:
+            store.register_campaign(
+                spec.campaign_id, spec.name, spec.spec_json, spec.total_trials
+            )
+            store.record_trial(
+                spec.campaign_id,
+                dataclasses.replace(trial_template, spec=spec.trial_specs()[0]),
+            )
+            rows = campaign_status(spec, store)
+        assert rows == [
+            ("static-paper", "dirq", 1, 2),
+            ("static-paper", "flooding", 0, 2),
+        ]
+
+
+class TestCampaignCli:
+    def base_args(self, tmp_path):
+        return [
+            "--name", "clitest",
+            "--scenarios", "static-paper",
+            "--protocols", "dirq",
+            "--replicates", "2",
+            "--epochs", "60",
+            "--workers", "1",
+            "--store", str(tmp_path / "s.sqlite"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+
+    def test_new_resume_status_query_roundtrip(self, tmp_path, capsys):
+        args = self.base_args(tmp_path)
+        export = tmp_path / "out.json"
+        md = tmp_path / "out.md"
+        assert campaign_cli.main(["--new"] + args) == 0
+        out = capsys.readouterr().out
+        assert "executed 2" in out and "2/2 trials" in out
+
+        # --new on an existing campaign refuses; --resume is a no-op run.
+        assert campaign_cli.main(["--new"] + args) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert campaign_cli.main(
+            ["--resume", "--export", str(export), "--markdown", str(md)]
+            + args
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out
+        payload = json.loads(export.read_text())
+        assert payload["completed_trials"] == 2
+        assert "clitest" in md.read_text()
+
+        # --status/--query by campaign name, plus the CI guard.
+        assert campaign_cli.main(
+            ["--status", "--campaign", "clitest", "--require-complete",
+             "--store", str(tmp_path / "s.sqlite")]
+        ) == 0
+        assert "2/2" in capsys.readouterr().out
+        assert campaign_cli.main(
+            ["--query", "--campaign", "clitest", "--replicate", "1",
+             "--store", str(tmp_path / "s.sqlite")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 stored trials" in out and "cost_ratio" in out
+
+    def test_resume_unknown_campaign_fails(self, tmp_path, capsys):
+        assert campaign_cli.main(["--resume"] + self.base_args(tmp_path)) == 2
+        assert "not registered" in capsys.readouterr().err
+
+    def test_status_of_empty_store_lists_nothing(self, tmp_path, capsys):
+        store = str(tmp_path / "s.sqlite")
+        assert campaign_cli.main(["--status", "--store", store]) == 0
+        assert "no campaigns" in capsys.readouterr().out
+        assert (
+            campaign_cli.main(
+                ["--status", "--store", store, "--require-complete"]
+            ) == 1
+        )
+
+    def test_require_complete_fails_on_partial_campaign(
+        self, tmp_path, capsys, trial_template, monkeypatch
+    ):
+        args = self.base_args(tmp_path)
+        calls = []
+
+        def interrupt_after_first(spec):
+            if calls:
+                raise KeyboardInterrupt
+            calls.append(spec.key)
+            return dataclasses.replace(trial_template, spec=spec)
+
+        monkeypatch.setattr(batch_mod, "_execute_trial", interrupt_after_first)
+        assert campaign_cli.main(["--new"] + args) == 130
+        assert "resume" in capsys.readouterr().err
+        assert (
+            campaign_cli.main(["--status", "--require-complete"] + args) == 1
+        )
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_grid_renders_from_campaign_store(self, tmp_path, capsys):
+        """--from-campaign renders matrices without executing trials."""
+        from repro.experiments import grid as grid_cli
+
+        args = self.base_args(tmp_path)
+        assert campaign_cli.main(["--new"] + args) == 0
+        capsys.readouterr()
+        json_path = tmp_path / "grid.json"
+        assert grid_cli.main(
+            [
+                "--from-campaign", "clitest",
+                "--store", str(tmp_path / "s.sqlite"),
+                "--json", str(json_path),
+                "--baseline", "none",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 trials executed" in out
+        assert "mean_accuracy" in out
+        payload = json.loads(json_path.read_text())
+        assert [c["scenario"] for c in payload["cells"]] == ["static-paper"]
+        assert payload["cells"][0]["n"] == 2
+
+    def test_grid_from_campaign_rejects_swept_campaigns(
+        self, tmp_path, capsys, trial_template, monkeypatch
+    ):
+        from repro.experiments import grid as grid_cli
+
+        monkeypatch.setattr(
+            batch_mod, "_execute_trial", fake_executor(trial_template)
+        )
+        args = self.base_args(tmp_path)
+        assert campaign_cli.main(
+            ["--new", "--sweep", "target_coverage=0.2,0.4"] + args
+        ) == 0
+        capsys.readouterr()
+        assert grid_cli.main(
+            ["--from-campaign", "clitest", "--store", str(tmp_path / "s.sqlite")]
+        ) == 2
+        assert "sweep points" in capsys.readouterr().err

@@ -43,6 +43,7 @@ ARGPARSE_CLIS = {
     "repro.experiments.smoke",
     "repro.experiments.replicate",
     "repro.experiments.cache",
+    "repro.experiments.campaign",
     "repro.experiments.grid",
     "repro.scenarios.run",
     "benchmarks.bench_engine",
