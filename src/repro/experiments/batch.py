@@ -101,7 +101,19 @@ DEFAULT_REPLICATES = 5
 #: older pickles lack.  v4: a reactivated node's ledger is checkpointed so
 #: its fresh battery no longer inherits the dead battery's tail spend,
 #: which changes outcomes for revive-churn + finite-energy compositions.
-CACHE_VERSION = 4
+#: v5: initial kills are applied in sorted node order (reprolint RL110
+#: fix), so results no longer depend on the ``initially_dead`` set's
+#: insertion history -- energy ledgers/breakdowns change for multi-node
+#: initially_dead configs whose iteration order differed from sorted.
+CACHE_VERSION = 5
+
+#: Config-dataclass fields deliberately excluded from hash coverage, as
+#: ``"ClassName.field"`` strings.  The reprolint RL2xx rules verify that
+#: every field of every config dataclass is reachable from
+#: :func:`_canonical` (hence :func:`config_hash`) *or* listed here with a
+#: written rationale -- an unhashed field would silently alias distinct
+#: configs onto one cache entry.  Empty today: every field is hashed.
+HASH_EXEMPT: frozenset = frozenset()
 
 
 # ---------------------------------------------------------------------------

@@ -19,11 +19,11 @@ import dataclasses
 import json
 import pickle
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..metrics.report import format_table
+from ..utils.clock import wall_now
 from .batch import CACHE_VERSION, resolve_cache_dir
 
 #: Entry states reported by :func:`scan_cache`.
@@ -171,11 +171,13 @@ def prune_targets(
 
     Always: stale versions and orphaned manifests.  ``older_than_days``
     adds entries whose files were last touched before the cutoff;
-    ``prune_all`` selects everything.
+    ``prune_all`` selects everything.  ``now`` is the reference time for
+    age computation; callers (and tests) inject it, the CLI defaults it
+    once at the entry point.
     """
     if prune_all:
         return list(entries)
-    now = time.time() if now is None else now
+    now = wall_now() if now is None else now
     out = []
     for entry in entries:
         if entry.status in (STATUS_STALE, STATUS_ORPHAN):
@@ -188,8 +190,9 @@ def prune_targets(
     return out
 
 
-def _format_listing(entries: Sequence[CacheEntry], cache_dir: Path) -> str:
-    now = time.time()
+def _format_listing(
+    entries: Sequence[CacheEntry], cache_dir: Path, now: float
+) -> str:
     rows = [
         (
             e.key,
@@ -217,7 +220,16 @@ def _format_listing(entries: Sequence[CacheEntry], cache_dir: Path) -> str:
     )
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(
+    argv: Optional[Sequence[str]] = None, *, now: Optional[float] = None
+) -> int:
+    """CLI entry point.
+
+    ``now`` injects the reference wall-clock time for ``--list`` ages and
+    ``--prune --older-than`` cutoffs (tests pass a frozen clock; the real
+    CLI defaults it from :func:`repro.utils.clock.wall_now` exactly once,
+    here).
+    """
     parser = argparse.ArgumentParser(
         description="Inspect / prune the BatchRunner result cache."
     )
@@ -258,17 +270,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--older-than/--all only make sense with --prune")
 
     cache_dir = Path(resolve_cache_dir(args.cache_dir))
+    now = wall_now() if now is None else float(now)
 
     entries = scan_cache(cache_dir)
     if not args.prune:
         if entries:
-            print(_format_listing(entries, cache_dir))
+            print(_format_listing(entries, cache_dir, now))
         else:
             print(f"cache {cache_dir}: empty (or missing)")
         return 0
 
     targets = prune_targets(
-        entries, older_than_days=args.older_than, prune_all=args.all
+        entries, older_than_days=args.older_than, prune_all=args.all, now=now
     )
     freed = 0
     for entry in targets:

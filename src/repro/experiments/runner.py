@@ -236,7 +236,11 @@ class ExperimentRunner:
                 sim=world.sim,
                 channel=world.channel,
                 node_id=nid,
-                rng=np.random.default_rng(mac_rng.integers(0, 2**63)),
+                # Seeded from the "mac" stream, so per-node generators stay
+                # a pure function of the experiment seed.
+                rng=np.random.default_rng(  # reprolint: disable=RL104
+                    mac_rng.integers(0, 2**63)
+                ),
                 slots_per_frame=cfg.slots_per_frame,
                 beacon_interval=cfg.mac_beacon_interval,
                 death_threshold=cfg.mac_death_threshold,
@@ -277,7 +281,10 @@ class ExperimentRunner:
 
         # Initial liveness --------------------------------------------------------
         world.alive = set(node_ids)
-        for nid in cfg.initially_dead:
+        # Sorted: two configs whose initially_dead sets compare equal can
+        # still iterate in different orders (insertion history), and kill
+        # order is observable through the audit log.
+        for nid in sorted(cfg.initially_dead):
             self._apply_kill(world, nid, rebuild_tree=False)
         if cfg.initially_dead:
             world.tree = build_bfs_tree(
@@ -338,7 +345,7 @@ class ExperimentRunner:
 
     def _alive_topology(self, world: SimulationWorld) -> Topology:
         topo = world.topology
-        for nid in set(topo.node_ids) - world.alive:
+        for nid in sorted(set(topo.node_ids) - world.alive):
             topo = topo.without_node(nid)
         return topo
 

@@ -92,7 +92,11 @@ class LMACProtocol(SimProcess):
         super().__init__(sim, name=f"lmac[{node_id}]")
         self.channel = channel
         self.node_id = node_id
-        self.rng = rng if rng is not None else np.random.default_rng(node_id)
+        # Fallback is seeded from the node id, so even unmanaged
+        # construction (unit tests, notebooks) is deterministic.
+        if rng is None:
+            rng = np.random.default_rng(node_id)  # reprolint: disable=RL104
+        self.rng = rng
         self.schedule = SlotSchedule(node_id, slots_per_frame)
         self.neighbors = NeighborTable(node_id)
         self.crosslayer = crosslayer if crosslayer is not None else CrossLayerBus()

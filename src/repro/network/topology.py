@@ -248,7 +248,9 @@ def random_geometric_topology(
     if comm_range <= 0:
         raise ValueError("comm_range must be positive")
     if rng is None:
-        rng = np.random.default_rng()
+        # Unseeded by design: interactive convenience only.  Managed runs
+        # always pass the "topology" stream (see docstring above).
+        rng = np.random.default_rng()  # reprolint: disable=RL104
 
     root_pos: Position = (
         (area_size / 2.0, area_size / 2.0) if root_position is None else root_position

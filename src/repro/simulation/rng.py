@@ -20,6 +20,36 @@ from typing import Dict
 
 import numpy as np
 
+#: Central registry of named RNG streams: stream name -> the one module
+#: allowed to request it via :meth:`RandomStreams.get`.
+#:
+#: Two call sites sharing a stream name draw from the *same* generator
+#: and silently correlate -- a statistical failure no unit test catches.
+#: The registry makes collisions impossible by construction: every
+#: stream name used anywhere in ``src/repro`` must be a string literal,
+#: registered here, and requested only from its owner module (enforced
+#: statically by ``tools/reprolint`` rules RL401-RL404; see
+#: ``docs/linting.md``).  All streams are currently requested by the
+#: experiment runner -- the composition root -- which passes the
+#: generators down to the components that consume them.
+#:
+#: The registry is deliberately *not* enforced at runtime: tests and
+#: notebooks may create ad-hoc streams, and the derive_seed replicate
+#: namespace ("rep-0", "rep-1", ...) is a seed-space mechanism, not a
+#: stream name.
+STREAM_REGISTRY: Dict[str, str] = {
+    "topology": "repro.experiments.runner",
+    "channel": "repro.experiments.runner",
+    "phenomena": "repro.experiments.runner",
+    "mac": "repro.experiments.runner",
+    "workload": "repro.experiments.runner",
+    "sensor-assignment": "repro.experiments.runner",
+    "scenario-churn": "repro.experiments.runner",
+    "scenario-mobility": "repro.experiments.runner",
+    "scenario-traffic": "repro.experiments.runner",
+    "scenario-energy": "repro.experiments.runner",
+}
+
 
 def _stable_stream_key(name: str) -> int:
     """Map a stream name to a stable 63-bit integer.

@@ -1,5 +1,6 @@
 """Shared utility helpers."""
 
+from .clock import wall_now
 from .validation import (
     require_fraction,
     require_non_negative,
@@ -10,6 +11,7 @@ from .validation import (
 
 __all__ = [
     "require_fraction",
+    "wall_now",
     "require_non_negative",
     "require_positive",
     "require_subset",

@@ -1,0 +1,24 @@
+"""The one sanctioned wall-clock accessor.
+
+Simulation results must be a pure function of their configuration, so
+reprolint rule RL102 forbids ``time.time()`` / ``datetime.now()``
+everywhere in ``src/repro`` -- except here.  Code that genuinely needs
+wall-clock time (cache-entry ages, CLI timestamps) accepts an injectable
+``now`` parameter and lets its *entry point* default it from
+:func:`wall_now`, which keeps the core logic deterministic and testable
+with a frozen clock (see ``repro.experiments.cache``).
+
+Simulated time is unrelated: that is :mod:`repro.simulation.clock`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_now() -> float:
+    """Current wall-clock time in seconds since the epoch.
+
+    The single place in ``src/repro`` allowed to read the host clock.
+    """
+    return time.time()

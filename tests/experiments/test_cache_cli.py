@@ -151,6 +151,45 @@ class TestScanAndPrune:
         assert [t.key for t in targets] == [spec.key]
         assert cache_cli.prune_targets(entries, older_than_days=30) == []
 
+    def test_prune_older_than_with_injected_clock(self, tmp_path):
+        """--prune --older-than is a pure function of the injected ``now``.
+
+        File mtimes are pinned to a fixed epoch and the reference time is
+        passed via ``main(now=...)``, so the test never reads the host
+        clock (reprolint RL102 discipline: wall time enters exactly once,
+        at the CLI entry point).
+        """
+        import os
+
+        spec = self.populate(tmp_path)
+        epoch = 1_000_000_000.0
+        for path in tmp_path.iterdir():
+            os.utime(path, (epoch, epoch))
+
+        # Seven days later: a 10-day cutoff keeps the entry...
+        now = epoch + 7 * 86400
+        args = [
+            "--prune", "--older-than", "10", "--cache-dir", str(tmp_path)
+        ]
+        assert cache_cli.main(args, now=now) == 0
+        assert (tmp_path / f"{spec.key}.pkl").is_file()
+        # ... and a 5-day cutoff removes it, at the same frozen instant.
+        args = ["--prune", "--older-than", "5", "--cache-dir", str(tmp_path)]
+        assert cache_cli.main(args, now=now) == 0
+        assert not (tmp_path / f"{spec.key}.pkl").exists()
+
+    def test_list_ages_use_injected_clock(self, tmp_path, capsys):
+        import os
+
+        self.populate(tmp_path)
+        epoch = 1_000_000_000.0
+        for path in tmp_path.iterdir():
+            os.utime(path, (epoch, epoch))
+        args = ["--list", "--cache-dir", str(tmp_path)]
+        assert cache_cli.main(args, now=epoch + 3 * 86400) == 0
+        out = capsys.readouterr().out
+        assert "3.0" in out  # the age column, in days
+
     def test_list_cli_output(self, tmp_path, capsys):
         self.populate(tmp_path)
         assert cache_cli.main(["--list", "--cache-dir", str(tmp_path)]) == 0

@@ -165,6 +165,28 @@ class TestRunnerDynamics:
         assert 7 in result.alive_at_end
         assert 7 in result.tree
 
+    def test_initially_dead_results_ignore_set_insertion_order(self):
+        # {1, 9} and {9, 1} compare equal but iterate in different orders
+        # under CPython (9 % 8 collides with 1).  The runner must kill in
+        # sorted order so set-equal configs -- which share a config_hash --
+        # also share their results (reprolint RL110; cache v5).
+        def run_with(dead):
+            cfg = ExperimentConfig(
+                num_nodes=25,
+                comm_range=45.0,
+                num_epochs=60,
+                query_period=20,
+                seed=0,
+                initially_dead=dead,
+            )
+            return run_experiment(cfg.with_fixed_delta(5.0))
+
+        a, b = run_with({1, 9}), run_with({9, 1})
+        assert a.breakdown == b.breakdown
+        assert a.ledger.per_node_cost() == b.ledger.per_node_cost()
+        assert a.alive_at_end == b.alive_at_end
+        assert a.per_query_costs == b.per_query_costs
+
     def test_heterogeneous_assignment(self):
         cfg = ExperimentConfig(
             num_nodes=12,

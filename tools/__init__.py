@@ -1,0 +1,10 @@
+"""Repository maintenance tooling (not shipped with the library).
+
+``tools.check_docs`` smoke-checks the commands embedded in the docs;
+``tools.reprolint`` is the AST contract linter enforcing the determinism,
+hash-coverage, import-layering, and RNG-stream invariants (see
+``docs/linting.md``).  Both are run from the repository root::
+
+    python -m tools.reprolint
+    python tools/check_docs.py
+"""

@@ -1,0 +1,32 @@
+"""Shared bootstrap for the repository tools.
+
+Every tool under ``tools/`` needs the same two things before it can import
+repository code: the repository root (for locating ``src``, ``docs``,
+``benchmarks``) and an import path that resolves ``repro`` (src layout)
+and ``benchmarks``/``tools`` (repo root) no matter which directory the
+tool is launched from.  Centralising it here keeps the per-tool preamble
+to a single :func:`bootstrap` call.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+#: Absolute path of the repository root (the directory holding ``src``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directory the ``repro`` package is imported from.
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def bootstrap() -> Path:
+    """Make ``repro`` (src layout) and repo-root packages importable.
+
+    Idempotent; returns :data:`REPO_ROOT` for convenience so callers can
+    write ``root = bootstrap()``.
+    """
+    for entry in (SRC_ROOT, REPO_ROOT):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+    return REPO_ROOT

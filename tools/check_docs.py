@@ -24,13 +24,14 @@ import subprocess
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+if __package__ in (None, ""):
+    # Launched as a script (`python tools/check_docs.py`): make the
+    # `tools` package importable before touching tools._common.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-# Make `repro` (src layout) and `benchmarks` (repo root) resolvable no
-# matter where the script is launched from.
-for entry in (REPO_ROOT / "src", REPO_ROOT):
-    if str(entry) not in sys.path:
-        sys.path.insert(0, str(entry))
+from tools._common import REPO_ROOT, SRC_ROOT, bootstrap
+
+bootstrap()
 
 #: Files scanned for fenced code blocks (repo-relative, resolved against
 #: REPO_ROOT so the script works from any working directory).
@@ -48,6 +49,7 @@ ARGPARSE_CLIS = {
     "repro.scenarios.run",
     "benchmarks.bench_engine",
     "benchmarks.bench_scenarios",
+    "tools.reprolint",
 }
 
 FENCE_RE = re.compile(r"^```")
@@ -98,7 +100,7 @@ def main() -> int:
 
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
-        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        [str(SRC_ROOT), str(REPO_ROOT)]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
     for module in sorted(ARGPARSE_CLIS & set(all_modules)):

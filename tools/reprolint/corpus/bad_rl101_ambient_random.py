@@ -1,0 +1,7 @@
+# reprolint-corpus: expect=RL101
+"""Known-bad: the ambient stdlib RNG cannot be replayed from a seed."""
+import random
+
+
+def roll() -> float:
+    return random.random()

@@ -1,0 +1,7 @@
+# reprolint-corpus: expect=RL102
+"""Known-bad: wall-clock reads leak irreproducible state."""
+import time
+
+
+def age(mtime: float) -> float:
+    return time.time() - mtime

@@ -1,0 +1,8 @@
+# reprolint-corpus: expect=RL103
+"""Known-bad: OS entropy is unseedable."""
+import os
+import uuid
+
+
+def fresh_id() -> str:
+    return str(uuid.uuid4()) + os.urandom(4).hex()

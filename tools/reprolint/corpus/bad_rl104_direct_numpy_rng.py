@@ -1,0 +1,7 @@
+# reprolint-corpus: expect=RL104
+"""Known-bad: generators must come from named RandomStreams streams."""
+import numpy as np
+
+
+def fresh():
+    return np.random.default_rng()

@@ -1,0 +1,12 @@
+# reprolint-corpus: expect=RL110
+"""Known-bad: set iteration order depends on insertion history."""
+
+
+def schedule(pending: set):
+    for event in pending:
+        yield event
+
+
+def collect(alive):
+    dead = {3, 1, 2}
+    return [nid for nid in dead]

@@ -1,0 +1,10 @@
+# reprolint-corpus: expect=RL201
+"""Known-bad: a ClassVar knob is invisible to config_hash."""
+import dataclasses
+from typing import ClassVar
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnConfig:
+    death_rate: float = 0.01
+    scratch: ClassVar[float] = 0.5

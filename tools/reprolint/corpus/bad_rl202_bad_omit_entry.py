@@ -1,0 +1,10 @@
+# reprolint-corpus: expect=RL202
+"""Known-bad: omit-when-unset only works for None-default fields."""
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleConfig:
+    HASH_OMIT_WHEN_UNSET = ("mode", "ghost")
+
+    mode: str = "waypoint"

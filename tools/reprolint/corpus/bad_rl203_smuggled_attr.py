@@ -1,0 +1,11 @@
+# reprolint-corpus: expect=RL203
+"""Known-bad: undeclared instance state is invisible to config_hash."""
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficConfig:
+    mode: str = "bursty"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cached_plan", ())

@@ -1,0 +1,6 @@
+# reprolint-corpus: expect=RL401
+"""Known-bad: computed stream names defeat static collision checks."""
+
+
+def build(streams, suffix: str):
+    return streams.get("scenario-" + suffix)

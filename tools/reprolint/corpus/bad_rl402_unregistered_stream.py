@@ -1,0 +1,6 @@
+# reprolint-corpus: expect=RL402
+"""Known-bad: every stream name must be in STREAM_REGISTRY."""
+
+
+def build(streams):
+    return streams.get("corpus-unregistered-stream")

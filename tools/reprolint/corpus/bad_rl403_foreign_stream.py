@@ -1,0 +1,6 @@
+# reprolint-corpus: expect=RL403
+"""Known-bad: requesting another subsystem's stream correlates draws."""
+
+
+def build(streams):
+    return streams.get("topology")

@@ -1,0 +1,15 @@
+# reprolint-corpus: expect=
+"""Known-good: sorted iteration, injected clock, injected RNG."""
+
+
+def schedule(pending: set):
+    for event in sorted(pending):
+        yield event
+
+
+def age(mtime: float, now: float) -> float:
+    return now - mtime
+
+
+def draw(rng, n: int):
+    return rng.integers(0, 2**63, size=n)

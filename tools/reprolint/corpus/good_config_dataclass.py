@@ -1,0 +1,16 @@
+# reprolint-corpus: expect=
+"""Known-good: omit-when-unset field with a None default, constants."""
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleConfig:
+    HASH_OMIT_WHEN_UNSET = ("mode",)
+    MODES = ("waypoint", "group")
+
+    rate: float = 0.1
+    mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rate", float(self.rate))

@@ -1,0 +1,8 @@
+# reprolint-corpus: expect=
+"""Known-good: a justified pragma suppresses the finding."""
+import numpy as np
+
+
+def fresh():
+    # Interactive convenience only; simulation paths inject a stream.
+    return np.random.default_rng()  # reprolint: disable=RL104

@@ -1,0 +1,377 @@
+"""RL1xx: determinism rules.
+
+RL101/RL103 forbid ambient entropy (stdlib ``random``, ``uuid``,
+``secrets``, ``os.urandom``); RL102 forbids wall-clock reads outside the
+sanctioned clock module; RL104 forbids constructing or using numpy RNGs
+outside ``repro.simulation.rng``; RL110 flags iteration over sets without
+a ``sorted(...)`` wrapper in determinism-critical modules (event
+scheduling and tree construction must not depend on hash order).
+
+RL110 uses a deliberately simple, local type inference: a name is
+"set-typed" when it is annotated as a set, assigned from a set literal /
+``set()`` / set comprehension / set operator, or when the attribute name
+is declared set-typed by any class in the scanned file set (which is how
+``config.initially_dead`` is recognised far from its declaration).
+False positives are expected to be rare and are suppressed with a
+``# reprolint: disable=RL110`` pragma carrying a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .core import Finding, SourceFile, dotted_name
+
+#: Dotted-call suffixes that read the wall clock.
+WALL_CLOCK_SUFFIXES = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: Names that build or transform sets when called as methods.
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+_SET_ANNOTATION_NAMES = {
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+    "set",
+    "frozenset",
+}
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    """Whether an annotation expression denotes a set type.
+
+    Only the *outermost* constructor counts: ``Set[int]`` and
+    ``Optional[Set[int]]`` are set-typed, ``Dict[int, Set[int]]`` is not.
+    """
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value) or ""
+        leaf = base.rsplit(".", 1)[-1]
+        if leaf in _SET_ANNOTATION_NAMES:
+            return True
+        if leaf == "Optional":
+            return _annotation_is_set(node.slice)
+        return False
+    name = dotted_name(node)
+    if name is None:
+        return False
+    return name.rsplit(".", 1)[-1] in _SET_ANNOTATION_NAMES
+
+
+def _call_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    return None
+
+
+class _SetTracker:
+    """Per-scope table of set-typed names and ``self.<attr>`` attributes."""
+
+    def __init__(self, global_set_attrs: Set[str]):
+        self.names: Set[str] = set()
+        self.self_attrs: Set[str] = set()
+        self.global_set_attrs = global_set_attrs
+
+    def is_setty(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.self_attrs
+            ):
+                return True
+            return node.attr in self.global_set_attrs
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+            ):
+                return self.is_setty(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_setty(node.left) or self.is_setty(node.right)
+        return False
+
+    def learn(self, target: ast.expr, *, setty: bool) -> None:
+        if isinstance(target, ast.Name):
+            if setty:
+                self.names.add(target.id)
+            else:
+                self.names.discard(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if setty:
+                self.self_attrs.add(target.attr)
+            else:
+                self.self_attrs.discard(target.attr)
+
+
+def collect_global_set_attrs(files: Iterable[SourceFile]) -> Set[str]:
+    """Attribute names declared set-typed by any scanned class or module.
+
+    Pulls from class-body annotations (``initially_dead: Set[NodeId]``)
+    and from ``self.x = set()``-style constructor assignments, so other
+    modules iterating ``obj.initially_dead`` are recognised.
+    """
+    attrs: Set[str] = set()
+    for src in files:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(
+                node.annotation
+            ):
+                if isinstance(node.target, ast.Name):
+                    attrs.add(node.target.id)
+                elif isinstance(node.target, ast.Attribute):
+                    attrs.add(node.target.attr)
+            elif isinstance(node, ast.Assign):
+                value_setty = isinstance(
+                    node.value, (ast.Set, ast.SetComp)
+                ) or _call_name(node.value) in ("set", "frozenset")
+                if not value_setty:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        attrs.add(target.attr)
+    return attrs
+
+
+def _scopes(tree: ast.Module):
+    """Yield (body, is_module_scope) for the module and each function."""
+    yield tree.body, True
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body, False
+
+
+def _check_rl110(src: SourceFile, global_set_attrs: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    self_attrs: Set[str] = set()
+    # Pass 1: class-wide self attributes (annotations + assignments).
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.AnnAssign) and _annotation_is_set(
+            node.annotation
+        ):
+            if (
+                isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+            ):
+                self_attrs.add(node.target.attr)
+        elif isinstance(node, ast.Assign):
+            probe = _SetTracker(global_set_attrs)
+            if not probe.is_setty(node.value):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self_attrs.add(target.attr)
+
+    seen: Set[int] = set()
+    for body, _is_module in _scopes(src.tree):
+        tracker = _SetTracker(global_set_attrs)
+        tracker.self_attrs = set(self_attrs)
+        # Gather set-typed names in this scope (annotations + assignments).
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for arg in (
+                        node.args.posonlyargs
+                        + node.args.args
+                        + node.args.kwonlyargs
+                    ):
+                        if arg.annotation is not None and _annotation_is_set(
+                            arg.annotation
+                        ):
+                            tracker.names.add(arg.arg)
+                elif isinstance(node, ast.AnnAssign):
+                    if _annotation_is_set(node.annotation):
+                        tracker.learn(node.target, setty=True)
+                elif isinstance(node, ast.Assign):
+                    setty = tracker.is_setty(node.value)
+                    for target in node.targets:
+                        if setty:
+                            tracker.learn(target, setty=True)
+        # Flag unsorted iteration.
+        for stmt in body:
+            for node in ast.walk(stmt):
+                iters: List[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if tracker.is_setty(it) and id(it) not in seen:
+                        seen.add(id(it))
+                        findings.append(
+                            Finding(
+                                code="RL110",
+                                path=src.rel,
+                                line=it.lineno,
+                                message=(
+                                    "iteration over a set in "
+                                    "determinism-critical code; wrap the "
+                                    "iterable in sorted(...) or justify "
+                                    "with a pragma"
+                                ),
+                            )
+                        )
+    return findings
+
+
+def check(files: List[SourceFile]) -> List[Finding]:
+    findings: List[Finding] = []
+    global_set_attrs = collect_global_set_attrs(files)
+    for src in files:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random" and not src.rng_exempt:
+                        findings.append(
+                            Finding(
+                                "RL101",
+                                src.rel,
+                                node.lineno,
+                                "stdlib `random` imported; use "
+                                "RandomStreams (repro.simulation.rng)",
+                            )
+                        )
+                    elif root in ("uuid", "secrets") and not src.rng_exempt:
+                        findings.append(
+                            Finding(
+                                "RL103",
+                                src.rel,
+                                node.lineno,
+                                f"entropy module `{root}` imported; ids "
+                                "must be derived from configuration",
+                            )
+                        )
+                    elif (
+                        alias.name.startswith("numpy.random")
+                        and not src.rng_exempt
+                    ):
+                        findings.append(
+                            Finding(
+                                "RL104",
+                                src.rel,
+                                node.lineno,
+                                "numpy.random imported directly; draw "
+                                "from a named RandomStreams stream",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                root = module.split(".")[0]
+                if root == "random" and not src.rng_exempt:
+                    findings.append(
+                        Finding(
+                            "RL101",
+                            src.rel,
+                            node.lineno,
+                            "stdlib `random` imported; use RandomStreams "
+                            "(repro.simulation.rng)",
+                        )
+                    )
+                elif root in ("uuid", "secrets") and not src.rng_exempt:
+                    findings.append(
+                        Finding(
+                            "RL103",
+                            src.rel,
+                            node.lineno,
+                            f"entropy module `{root}` imported; ids must "
+                            "be derived from configuration",
+                        )
+                    )
+                elif module == "numpy.random" and not src.rng_exempt:
+                    findings.append(
+                        Finding(
+                            "RL104",
+                            src.rel,
+                            node.lineno,
+                            "numpy.random imported directly; draw from a "
+                            "named RandomStreams stream",
+                        )
+                    )
+                elif module == "time" and not src.clock_exempt:
+                    for alias in node.names:
+                        if alias.name in ("time", "time_ns"):
+                            findings.append(
+                                Finding(
+                                    "RL102",
+                                    src.rel,
+                                    node.lineno,
+                                    "wall-clock accessor imported from "
+                                    "`time`; inject a clock instead "
+                                    "(repro.utils.clock)",
+                                )
+                            )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                leaf2 = ".".join(name.split(".")[-2:])
+                if leaf2 in WALL_CLOCK_SUFFIXES and not src.clock_exempt:
+                    findings.append(
+                        Finding(
+                            "RL102",
+                            src.rel,
+                            node.lineno,
+                            f"wall-clock read `{name}()`; accept an "
+                            "injectable `now`/clock parameter instead "
+                            "(repro.utils.clock)",
+                        )
+                    )
+                elif leaf2 == "os.urandom" and not src.rng_exempt:
+                    findings.append(
+                        Finding(
+                            "RL103",
+                            src.rel,
+                            node.lineno,
+                            "os.urandom() is unseedable entropy",
+                        )
+                    )
+                elif (
+                    name.startswith(("np.random.", "numpy.random."))
+                    and not src.rng_exempt
+                ):
+                    findings.append(
+                        Finding(
+                            "RL104",
+                            src.rel,
+                            node.lineno,
+                            f"direct numpy RNG call `{name}(...)`; draw "
+                            "from a named RandomStreams stream",
+                        )
+                    )
+        if src.determinism_critical:
+            findings.extend(_check_rl110(src, global_set_attrs))
+    return findings

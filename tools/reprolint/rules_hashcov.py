@@ -1,0 +1,383 @@
+"""RL2xx: config hash-coverage rules.
+
+The cache key of a trial is ``config_hash(config)``, computed by the
+generic ``repro.experiments.batch._canonical`` walk over dataclass
+fields.  The silent cache-aliasing bug class is a configuration knob that
+*behaves* like config but is invisible to that walk: a ``ClassVar``, a
+plain class attribute, an undeclared ``object.__setattr__`` instance
+attribute, or a field dropped by a broken ``HASH_OMIT_WHEN_UNSET`` entry.
+Two configs differing only in such a knob would share one cache entry.
+
+Static checks (RL201/RL202/RL203) parse the config dataclasses; the
+dynamic check (RL210) imports the real classes and verifies every
+declared field actually appears in the canonical payload (or is listed
+in ``repro.experiments.batch.HASH_EXEMPT``).  ALL_CAPS class attributes
+are treated as contract constants (``MODES``, ``HASH_OMIT_WHEN_UNSET``,
+...), not knobs.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses as _dc
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .core import Finding, SourceFile, dotted_name
+
+#: The config dataclasses whose fields feed ``config_hash``.
+CONFIG_CLASS_NAMES = {
+    "ExperimentConfig",
+    "ScenarioConfig",
+    "ChurnConfig",
+    "MobilityConfig",
+    "TrafficConfig",
+    "EnergyConfig",
+    "DirQConfig",
+}
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target) or ""
+        if name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _declares_omit_table(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "HASH_OMIT_WHEN_UNSET"
+                ):
+                    return True
+    return False
+
+
+def _annotation_is_classvar(node: ast.AST) -> bool:
+    base = node.value if isinstance(node, ast.Subscript) else node
+    name = dotted_name(base) or ""
+    return name.rsplit(".", 1)[-1] == "ClassVar"
+
+
+def iter_config_classes(tree: ast.Module) -> Iterable[ast.ClassDef]:
+    """Config dataclasses in a module: by name, or by declaring the
+    ``HASH_OMIT_WHEN_UNSET`` contract attribute."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass_def(node):
+            continue
+        if node.name in CONFIG_CLASS_NAMES or _declares_omit_table(node):
+            yield node
+
+
+def _class_fields(node: ast.ClassDef) -> Dict[str, Optional[ast.expr]]:
+    """Declared dataclass fields -> default value expression (or None)."""
+    fields: Dict[str, Optional[ast.expr]] = {}
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not _annotation_is_classvar(stmt.annotation)
+        ):
+            fields[stmt.target.id] = stmt.value
+    return fields
+
+
+def check_class_ast(
+    node: ast.ClassDef, rel: str, exempt: Set[str]
+) -> List[Finding]:
+    """RL201/RL202/RL203 for one config dataclass definition."""
+    findings: List[Finding] = []
+    fields = _class_fields(node)
+    qualify = lambda name: f"{node.name}.{name}"  # noqa: E731
+
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            name = stmt.target.id
+            if (
+                _annotation_is_classvar(stmt.annotation)
+                and not name.isupper()
+                and not name.startswith("__")
+                and qualify(name) not in exempt
+            ):
+                findings.append(
+                    Finding(
+                        "RL201",
+                        rel,
+                        stmt.lineno,
+                        f"{node.name}.{name} is a ClassVar, invisible to "
+                        "config_hash: make it a field or add it to "
+                        "HASH_EXEMPT with a rationale",
+                    )
+                )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if (
+                    not name.isupper()
+                    and not name.startswith("__")
+                    and qualify(name) not in exempt
+                ):
+                    findings.append(
+                        Finding(
+                            "RL201",
+                            rel,
+                            stmt.lineno,
+                            f"{node.name}.{name} is an unannotated class "
+                            "attribute, invisible to config_hash: declare "
+                            "it as a field (or ALL_CAPS constant / "
+                            "HASH_EXEMPT entry)",
+                        )
+                    )
+
+    # RL202: HASH_OMIT_WHEN_UNSET entries must be None-default fields.
+    for stmt in node.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "HASH_OMIT_WHEN_UNSET"
+            for t in stmt.targets
+        ):
+            continue
+        if not isinstance(stmt.value, (ast.Tuple, ast.List, ast.Set)):
+            findings.append(
+                Finding(
+                    "RL202",
+                    rel,
+                    stmt.lineno,
+                    f"{node.name}.HASH_OMIT_WHEN_UNSET must be a literal "
+                    "tuple of field names",
+                )
+            )
+            continue
+        for elt in stmt.value.elts:
+            if not (
+                isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ):
+                findings.append(
+                    Finding(
+                        "RL202",
+                        rel,
+                        elt.lineno,
+                        f"{node.name}.HASH_OMIT_WHEN_UNSET entries must be "
+                        "string literals",
+                    )
+                )
+                continue
+            name = elt.value
+            if name not in fields:
+                findings.append(
+                    Finding(
+                        "RL202",
+                        rel,
+                        elt.lineno,
+                        f"{node.name}.HASH_OMIT_WHEN_UNSET names unknown "
+                        f"field {name!r}",
+                    )
+                )
+                continue
+            default = fields[name]
+            if not (
+                isinstance(default, ast.Constant) and default.value is None
+            ):
+                findings.append(
+                    Finding(
+                        "RL202",
+                        rel,
+                        elt.lineno,
+                        f"{node.name}.{name} is omit-when-unset but its "
+                        "default is not None, so omission would never "
+                        "trigger consistently",
+                    )
+                )
+
+    # RL203: smuggled instance attributes.
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            if dotted_name(sub.func) != "object.__setattr__":
+                continue
+            if len(sub.args) < 2:
+                continue
+            first, second = sub.args[0], sub.args[1]
+            if not (isinstance(first, ast.Name) and first.id == "self"):
+                continue
+            if not (
+                isinstance(second, ast.Constant)
+                and isinstance(second.value, str)
+            ):
+                findings.append(
+                    Finding(
+                        "RL203",
+                        rel,
+                        sub.lineno,
+                        f"{node.name}: object.__setattr__ with a computed "
+                        "attribute name cannot be checked for hash "
+                        "coverage",
+                    )
+                )
+                continue
+            if (
+                second.value not in fields
+                and qualify(second.value) not in exempt
+            ):
+                findings.append(
+                    Finding(
+                        "RL203",
+                        rel,
+                        sub.lineno,
+                        f"{node.name}.{second.value} is set via "
+                        "object.__setattr__ but is not a declared field: "
+                        "it is invisible to config_hash",
+                    )
+                )
+    return findings
+
+
+def parse_hash_exempt(batch_tree: ast.Module) -> Optional[Set[str]]:
+    """The ``HASH_EXEMPT`` literal from ``repro.experiments.batch``."""
+    for node in ast.walk(batch_tree):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "HASH_EXEMPT" for t in targets
+        ):
+            continue
+        try:
+            literal = ast.literal_eval(value)
+        except (ValueError, TypeError):
+            # frozenset({...}) is a Call, not a literal: evaluate its arg.
+            if (
+                isinstance(value, ast.Call)
+                and dotted_name(value.func) == "frozenset"
+            ):
+                if not value.args:
+                    return set()
+                try:
+                    literal = ast.literal_eval(value.args[0])
+                except (ValueError, TypeError):
+                    return None
+            else:
+                return None
+        return {str(item) for item in literal}
+    return None
+
+
+def check_hash_coverage(
+    cls: type,
+    instance: object,
+    canonical,
+    exempt: Set[str],
+) -> List[str]:
+    """RL210 core: declared fields missing from the canonical payload.
+
+    ``canonical`` is (a stand-in for) ``repro.experiments.batch._canonical``;
+    a field is covered when it appears in ``canonical(instance)``, is a
+    sanctioned ``HASH_OMIT_WHEN_UNSET`` entry currently unset, or is
+    listed in ``exempt`` as ``"ClassName.field"``.
+    """
+    payload = canonical(instance)
+    keys = set(payload) if isinstance(payload, dict) else set()
+    omit = set(getattr(cls, "HASH_OMIT_WHEN_UNSET", ()))
+    missing = []
+    for field in _dc.fields(cls):
+        if field.name in keys:
+            continue
+        if field.name in omit and getattr(instance, field.name) is None:
+            continue
+        if f"{cls.__name__}.{field.name}" in exempt:
+            continue
+        missing.append(field.name)
+    return missing
+
+
+def _dynamic_instances() -> Sequence[Tuple[type, object]]:
+    """Default instances of every config class (imports the real package)."""
+    from repro.core.config import DirQConfig
+    from repro.experiments.config import ExperimentConfig
+    from repro.scenarios.spec import (
+        ChurnConfig,
+        EnergyConfig,
+        MobilityConfig,
+        ScenarioConfig,
+        TrafficConfig,
+    )
+
+    return [
+        (DirQConfig, DirQConfig()),
+        (ExperimentConfig, ExperimentConfig()),
+        (ChurnConfig, ChurnConfig()),
+        (MobilityConfig, MobilityConfig()),
+        (TrafficConfig, TrafficConfig()),
+        (EnergyConfig, EnergyConfig()),
+        (ScenarioConfig, ScenarioConfig(churn=ChurnConfig())),
+    ]
+
+
+def check(files: List[SourceFile], *, dynamic: bool = True) -> List[Finding]:
+    findings: List[Finding] = []
+    exempt: Set[str] = set()
+    batch_src = next(
+        (f for f in files if f.rel == "src/repro/experiments/batch.py"), None
+    )
+    if batch_src is not None:
+        parsed = parse_hash_exempt(batch_src.tree)
+        if parsed is not None:
+            exempt = parsed
+
+    class_lines: Dict[str, Tuple[str, int]] = {}
+    for src in files:
+        for node in iter_config_classes(src.tree):
+            class_lines.setdefault(node.name, (src.rel, node.lineno))
+            findings.extend(check_class_ast(node, src.rel, exempt))
+
+    if dynamic and batch_src is not None:
+        try:
+            from repro.experiments.batch import (  # noqa: WPS433
+                HASH_EXEMPT,
+                _canonical,
+            )
+
+            for cls, instance in _dynamic_instances():
+                missing = check_hash_coverage(
+                    cls, instance, _canonical, set(HASH_EXEMPT)
+                )
+                rel, line = class_lines.get(
+                    cls.__name__, ("src/repro/experiments/batch.py", 1)
+                )
+                for name in missing:
+                    findings.append(
+                        Finding(
+                            "RL210",
+                            rel,
+                            line,
+                            f"{cls.__name__}.{name} is not reachable from "
+                            "_canonical/config_hash and is not in "
+                            "HASH_EXEMPT: distinct configs would alias "
+                            "one cache entry",
+                        )
+                    )
+        except Exception as exc:  # pragma: no cover - import environment
+            findings.append(
+                Finding(
+                    "RL210",
+                    "src/repro/experiments/batch.py",
+                    1,
+                    f"dynamic hash-coverage check could not run: {exc!r}",
+                )
+            )
+    return findings
