@@ -333,15 +333,18 @@ class TrialResult:
 
     # -- determinism ---------------------------------------------------------
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, *, include_key: bool = True) -> str:
         """Digest of every deterministic measurement of this trial.
 
         Two runs of the same spec must produce equal fingerprints no matter
         how many workers executed the batch; runtime and cache provenance
-        are excluded.
+        are excluded.  ``include_key=False`` drops the config hash from the
+        payload, for A/B comparisons between configs that differ only in an
+        implementation-strategy flag (e.g. ``neighbor_method``) and must
+        produce identical measurements.
         """
         payload = {
-            "key": self.spec.key,
+            "key": self.spec.key if include_key else None,
             "num_queries": self.num_queries,
             "flooding_cost_per_query": self.flooding_cost_per_query,
             "per_query_costs": self.per_query_costs,

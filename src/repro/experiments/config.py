@@ -109,11 +109,20 @@ class ExperimentConfig:
         it off).
     """
 
-    #: The ``scenario`` field postdates the original hash scheme: it is
-    #: omitted from the canonical hash payload while ``None`` (see
-    #: ``repro.experiments.batch._canonical``), so pre-scenario configs
-    #: keep their cache keys.
-    HASH_OMIT_WHEN_UNSET = ("scenario",)
+    #: Fields that postdate the original hash scheme: each is omitted from
+    #: the canonical hash payload while ``None`` (see
+    #: ``repro.experiments.batch._canonical``), so pre-existing configs
+    #: keep their cache keys.  ``neighbor_method`` / ``tree_repair`` /
+    #: ``phenomena_method`` select implementation strategies that are
+    #: bit-identical in their defaults, but a config that pins one
+    #: explicitly must hash differently so A/B runs never alias in the
+    #: result cache.
+    HASH_OMIT_WHEN_UNSET = (
+        "scenario",
+        "neighbor_method",
+        "tree_repair",
+        "phenomena_method",
+    )
 
     num_nodes: int = 50
     comm_range: float = 30.0
@@ -140,6 +149,20 @@ class ExperimentConfig:
     send_responses: bool = False
     trace: bool = False
     root_id: NodeId = 0
+    #: Unit-disk connectivity strategy: ``None`` (= "spatial", the grid
+    #: hash) or "brute" (reference O(n^2) all-pairs).  Bit-identical
+    #: topologies either way; the flag exists for A/B tests and profiling.
+    neighbor_method: Optional[str] = None
+    #: Spanning-tree maintenance on mobility re-links: ``None``
+    #: (= "incremental" repair when the current tree is BFS-canonical) or
+    #: "full" (rebuild from scratch every re-link).  Bit-identical trees.
+    tree_repair: Optional[str] = None
+    #: Phenomena synthesis: ``None`` (= "exact" dense-Cholesky Gaussian
+    #: field) or "lowrank" (random-Fourier-feature approximation, the only
+    #: tractable option at thousands of nodes).  Unlike the other two
+    #: flags, "lowrank" draws a *different* (approximate) field, so it is
+    #: never a silent default.
+    phenomena_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -160,6 +183,21 @@ class ExperimentConfig:
             raise ValueError("channel_loss must be in [0, 1]")
         if self.root_id in self.initially_dead:
             raise ValueError("the root cannot start dead")
+        if self.neighbor_method not in (None, "spatial", "brute"):
+            raise ValueError(
+                "neighbor_method must be None, 'spatial', or 'brute', "
+                f"got {self.neighbor_method!r}"
+            )
+        if self.tree_repair not in (None, "incremental", "full"):
+            raise ValueError(
+                "tree_repair must be None, 'incremental', or 'full', "
+                f"got {self.tree_repair!r}"
+            )
+        if self.phenomena_method not in (None, "exact", "lowrank"):
+            raise ValueError(
+                "phenomena_method must be None, 'exact', or 'lowrank', "
+                f"got {self.phenomena_method!r}"
+            )
 
     # -- convenience constructors ------------------------------------------------
 

@@ -146,6 +146,12 @@ class ExperimentRunner:
         self.config = config
         self.streams = RandomStreams(config.seed)
         self.world: Optional[SimulationWorld] = None
+        # True while world.tree is exactly what a full sorted-BFS build
+        # would produce for the current topology and the tree's own member
+        # set -- the precondition for incremental repair on re-links.
+        # Greedy maintenance (death repair, revival attachment) breaks
+        # canonical form; every full or incremental rebuild restores it.
+        self._tree_canonical = False
 
     # ------------------------------------------------------------------
     # World construction
@@ -167,6 +173,7 @@ class ExperimentRunner:
             area_size=cfg.area_size,
             rng=self.streams.get("topology"),
             root_id=cfg.root_id,
+            method=cfg.neighbor_method,
         )
         world.ledger = NetworkLedger()
         world.channel = WirelessChannel(
@@ -197,6 +204,7 @@ class ExperimentRunner:
             rng=self.streams.get("phenomena"),
             specs=specs,
             epochs_per_day=cfg.epochs_per_day,
+            spatial_method=cfg.phenomena_method or "exact",
         )
 
         # DirQ expresses δ in percent of the sensor type's full-scale range.
@@ -222,6 +230,7 @@ class ExperimentRunner:
 
         # Nodes, MAC, tree, protocols -----------------------------------------------
         world.tree = build_bfs_tree(world.topology, root=cfg.root_id)
+        self._tree_canonical = True
         mac_rng = self.streams.get("mac")
         for nid in node_ids:
             node = SensorNode(
@@ -290,6 +299,7 @@ class ExperimentRunner:
             world.tree = build_bfs_tree(
                 self._alive_topology(world), root=cfg.root_id
             )
+            self._tree_canonical = True
             self._install_tree_links(world, world.tree)
 
         # Heterogeneous energy budgets (scenario-driven).  Capacities come
@@ -368,6 +378,9 @@ class ExperimentRunner:
         world.channel.set_alive(node_id, False)
         world.macs[node_id].shutdown()
         if rebuild_tree and node_id in world.tree:
+            # Greedy re-attachment is cheap but not BFS-canonical: the next
+            # re-link must fall back to a full rebuild.
+            self._tree_canonical = False
             repaired = world.tree.repair(node_id, world.channel.neighbors)
             reparented = [
                 nid
@@ -405,6 +418,9 @@ class ExperimentRunner:
         ]
         if candidates:
             candidates.sort(key=lambda nb: (world.tree.depth_of(nb), nb))
+            # Greedy attachment, like death repair, leaves the tree
+            # non-canonical until the next full or incremental rebuild.
+            self._tree_canonical = False
             world.tree = world.tree.with_new_node(node_id, candidates[0])
             self._install_tree_links(world, world.tree)
 
@@ -418,13 +434,24 @@ class ExperimentRunner:
         parent changed re-advertises its ranges so queries keep routing
         (paper §4.2), exactly as after a node death.
         """
+        cfg = self.config
         moved = mobility.step()
-        world.topology = world.topology.with_positions(moved)
+        world.topology, dirty = world.topology.with_positions_delta(
+            moved, method=cfg.neighbor_method
+        )
         world.channel.update_topology(world.topology)
         old_tree = world.tree
-        world.tree = rebuild_spanning_tree(
-            world.topology, world.alive, self.config.root_id
+        incremental = (
+            self._tree_canonical and (cfg.tree_repair or "incremental") != "full"
         )
+        world.tree = rebuild_spanning_tree(
+            world.topology,
+            world.alive,
+            cfg.root_id,
+            previous=old_tree if incremental else None,
+            dirty=dirty if incremental else None,
+        )
+        self._tree_canonical = True
         self._install_tree_links(world, world.tree)
         for nid in world.tree.node_ids:
             if nid == self.config.root_id:

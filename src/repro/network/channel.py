@@ -36,7 +36,6 @@ range including the 1.0 endpoint.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
@@ -47,6 +46,8 @@ from ..simulation.engine import Simulator
 from ..simulation.events import EventPriority
 from ..simulation.trace import NULL_TRACER, Tracer
 from .addresses import BROADCAST, NodeId, validate_node_id
+from .links import within_range
+from .spatial import SpatialHash
 from .topology import Topology
 
 ReceiveCallback = Callable[[NodeId, Any], None]
@@ -122,7 +123,13 @@ class WirelessChannel:
         if propagation_delay < 0:
             raise ValueError("propagation_delay must be non-negative")
         self.sim = sim
-        self.graph = topology.graph.copy()
+        # Copy-on-write adoption: Topology is immutable (every edit returns a
+        # copy), so the channel can share its graph by reference and only pay
+        # for a private copy when the channel itself mutates connectivity
+        # (add_node).  At n=5000 this turns every mobility re-link's
+        # update_topology from an O(V+E) graph copy into a pointer swap.
+        self.graph = topology.graph
+        self._owns_graph = False
         self.positions = dict(topology.positions)
         self.comm_range = topology.comm_range
         self.energy_model = energy_model
@@ -163,25 +170,32 @@ class WirelessChannel:
     def is_alive(self, node_id: NodeId) -> bool:
         return self._alive.get(node_id, False)
 
+    def _ensure_private_graph(self) -> None:
+        """Copy the (possibly shared) graph before the channel mutates it."""
+        if not self._owns_graph:
+            self.graph = self.graph.copy()
+            self._owns_graph = True
+
     def add_node(self, node_id: NodeId, position, neighbors=None) -> None:
         """Add a node to the channel's connectivity view.
 
         When ``neighbors`` is omitted the node is auto-wired to every *alive*
-        node within ``comm_range``: linking through a dead node would let a
-        later resurrection inherit connectivity the radio never had.
+        node within ``comm_range`` (via a grid-hash range query rather than a
+        scan of all positions): linking through a dead node would let a later
+        resurrection inherit connectivity the radio never had.
         """
         if node_id in self.graph:
             raise ValueError(f"node {node_id} already present")
+        self._ensure_private_graph()
         self.graph.add_node(node_id)
         self.positions[node_id] = (float(position[0]), float(position[1]))
         if neighbors is None:
             if self.comm_range is None:
                 raise ValueError("neighbors required when comm_range is unset")
             here = self.positions[node_id]
-            for other, pos in self.positions.items():
-                if other == node_id or not self._alive.get(other):
-                    continue
-                if math.dist(pos, here) <= self.comm_range:
+            grid = SpatialHash(self.positions, cell_size=self.comm_range)
+            for other in grid.query(here, self.comm_range, exclude=node_id):
+                if self._alive.get(other):
                     self.graph.add_edge(node_id, other)
         else:
             for other in neighbors:
@@ -194,14 +208,16 @@ class WirelessChannel:
         The node set must be unchanged: mobility moves nodes, it never adds
         or removes them (use :meth:`add_node` / :meth:`set_alive` for
         that).  Liveness flags and registered receivers are preserved --
-        only who-can-hear-whom changes.
+        only who-can-hear-whom changes.  The new graph is adopted by
+        reference (copy-on-write, see ``__init__``).
         """
         if set(topology.graph.nodes) != set(self.graph.nodes):
             raise ValueError(
                 "update_topology requires the same node set; "
                 "use add_node/set_alive for membership changes"
             )
-        self.graph = topology.graph.copy()
+        self.graph = topology.graph
+        self._owns_graph = False
         self.positions = dict(topology.positions)
         self.comm_range = topology.comm_range
 

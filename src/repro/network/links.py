@@ -1,18 +1,48 @@
-"""Link state and neighbour tables.
+"""Link state, the radio-range link predicate, and neighbour tables.
 
 Each node keeps a :class:`NeighborTable` describing the one-hop neighbours it
 currently believes are alive.  In the paper this information is owned by the
 LMAC layer (slot occupancy implicitly names the neighbourhood) and consumed
 by DirQ through the cross-layer interface; here the table is a standalone
 structure shared by the MAC protocol and the routing layers.
+
+This module is also the home of :func:`within_range` -- the **single**
+unit-disk link predicate every connectivity path must use (see below).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .addresses import NodeId
+
+Position = Tuple[float, float]
+
+
+def within_range(pos_a: Position, pos_b: Position, comm_range: float) -> bool:
+    """The unit-disk link predicate: are two positions within radio range?
+
+    Contract (shared by every connectivity path)
+    --------------------------------------------
+    * **Inclusive**: a pair at distance *exactly* ``comm_range`` is linked.
+      The paper's unit-disk model does not specify the boundary; we pin the
+      inclusive convention so ties are a defined, testable behaviour.
+    * **One float formulation**: the distance is evaluated as
+      ``sqrt(dx*dx + dy*dy)`` in float64, the same operation order (and
+      therefore the same rounding) as the vectorised brute-force builder
+      ``np.sqrt(((a - b) ** 2).sum(-1))``.  Alternative formulations such
+      as :func:`math.dist`/:func:`math.hypot` round differently in the last
+      ulp, which historically let a node sit exactly on the range boundary
+      and be a neighbour on one code path but not on another.  Every caller
+      (brute-force O(n^2) builder, spatial hash, ``Topology.with_node``,
+      ``WirelessChannel.add_node``) must route range checks through this
+      function so the tie behaviour can never diverge again.
+    """
+    dx = float(pos_a[0]) - float(pos_b[0])
+    dy = float(pos_a[1]) - float(pos_b[1])
+    return math.sqrt(dx * dx + dy * dy) <= comm_range
 
 
 @dataclasses.dataclass

@@ -21,8 +21,9 @@ provides
 from __future__ import annotations
 
 import dataclasses
+import heapq
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -64,16 +65,24 @@ class SpanningTree:
         self._validate_acyclic()
 
     def _validate_acyclic(self) -> None:
+        # Memoized: a node on an already-validated root chain never needs
+        # re-walking, so validation is O(n) total rather than O(n * depth)
+        # -- construction cost matters now that large-N mobility re-links
+        # build trees with thousands of nodes.
+        ok: Set[NodeId] = set()
         for node in self.parent:
-            seen = set()
+            chain: List[NodeId] = []
+            on_chain: Set[NodeId] = set()
             cur: Optional[NodeId] = node
-            while cur is not None:
-                if cur in seen:
+            while cur is not None and cur not in ok:
+                if cur in on_chain:
                     raise TreeError(f"cycle detected through node {cur}")
-                seen.add(cur)
+                on_chain.add(cur)
+                chain.append(cur)
                 cur = self.parent[cur]
-            if self.root not in seen:
+            if cur is None and chain and chain[-1] != self.root:
                 raise TreeError(f"node {node} is not connected to the root")
+            ok.update(chain)
 
     # -- basic structure -------------------------------------------------------
 
@@ -334,6 +343,256 @@ def build_bfs_tree(
             f"topology is not connected; unreachable nodes: {sorted(missing)}"
         )
     return SpanningTree(root=root, parent=parent)
+
+
+def _tree_depths(tree: SpanningTree) -> Dict[NodeId, int]:
+    """Depth of every node in ``tree`` in one O(n) top-down pass."""
+    depths: Dict[NodeId, int] = {tree.root: 0}
+    frontier = deque([tree.root])
+    while frontier:
+        cur = frontier.popleft()
+        d = depths[cur] + 1
+        for child in tree.children(cur):
+            depths[child] = d
+            frontier.append(child)
+    return depths
+
+
+def update_bfs_tree(
+    previous: Optional[SpanningTree],
+    topology: Topology,
+    root: NodeId = 0,
+    alive: Optional[Set[NodeId]] = None,
+    dirty: Iterable[NodeId] = (),
+    partial: bool = False,
+    rebuild_threshold: float = 0.25,
+) -> SpanningTree:
+    """Incrementally repair a BFS spanning tree after a topology delta.
+
+    Produces a tree **identical** to ``build_bfs_tree(topology, root, alive,
+    partial)`` -- same parents, not just same depths -- while re-examining
+    only the neighbourhood of the change, so a mobility re-link that moves a
+    handful of nodes costs O(affected) instead of O(V + E).
+
+    Parameters
+    ----------
+    previous:
+        The tree to repair.  **Must be BFS-canonical** for the pre-delta
+        topology and membership, i.e. exactly what ``build_bfs_tree``
+        produced -- a tree patched by the greedy :meth:`SpanningTree.repair`
+        or :meth:`SpanningTree.with_new_node` is not, and callers must fall
+        back to a full build in that case (the experiment runner tracks
+        this with a canonical-tree flag).  ``None`` falls back to a full
+        build.
+    dirty:
+        Nodes whose radio neighbourhood may have changed -- the endpoints
+        of every added/removed link (``Topology.with_positions_delta``
+        returns exactly this set).  Membership changes relative to
+        ``previous`` (killed/revived nodes) are detected here and need not
+        be included.
+    rebuild_threshold:
+        Fall back to a full build when the changed set exceeds this
+        fraction of the membership; past that point the full O(V + E) BFS
+        is cheaper than the repair bookkeeping.
+
+    Why equality holds
+    ------------------
+    ``build_bfs_tree`` pops a FIFO frontier of sorted-neighbour lists, so a
+    node's parent is its smallest-*pathkey* neighbour one level up, where a
+    node's pathkey is the id tuple of its root path (root's key is
+    ``(root,)``, a child's key is the parent's key plus its own id).  The
+    repair recomputes depths with a bounded Dijkstra pass (a non-orphaned
+    node's old depth is a valid upper bound; only nodes adjacent to the
+    change can improve) and then re-derives parents by minimum pathkey for
+    exactly the nodes whose candidate sets or candidate keys changed,
+    cascading down while keys keep changing.  Every other node keeps a
+    parent whose candidate set and keys are untouched, so its canonical
+    parent is unchanged.
+    """
+    if not topology.has_node(root):
+        raise KeyError(f"root {root} not in topology")
+    members = set(topology.node_ids) if alive is None else set(alive)
+    members.add(root)
+
+    def full_build() -> SpanningTree:
+        return build_bfs_tree(topology, root=root, alive=alive, partial=partial)
+
+    if previous is None or previous.root != root:
+        return full_build()
+
+    prev_members = set(previous.parent)
+    dirty_members = (set(dirty) & members) | (members ^ prev_members)
+    if len(dirty_members) > rebuild_threshold * max(1, len(members)):
+        return full_build()
+    if not dirty_members:
+        return previous
+
+    graph = topology.graph
+    old_depth = _tree_depths(previous)
+
+    # -- Phase 1: orphan detection (old depth no longer certainly valid) ----
+    # A node keeps its old depth as a valid upper bound iff some alive
+    # neighbour one level up (by old depth) keeps its own.  Processing
+    # candidates in ascending old depth makes every verdict final: a node's
+    # potential supporters all have smaller old depth, already decided.
+    orphaned: Set[NodeId] = set()
+    decided: Set[NodeId] = set()
+    cand_heap: List[Tuple[int, NodeId]] = []
+    for v in sorted(dirty_members):
+        if v in old_depth:
+            heapq.heappush(cand_heap, (old_depth[v], v))
+    removed = prev_members - members
+    for r in sorted(removed):
+        for child in previous.children(r):
+            if child in members:
+                heapq.heappush(cand_heap, (old_depth[child], child))
+    while cand_heap:
+        d, v = heapq.heappop(cand_heap)
+        if v in decided or v == root:
+            continue
+        decided.add(v)
+        supported = False
+        for u in topology.neighbors(v):
+            if (
+                u in members
+                and u not in orphaned
+                and old_depth.get(u) == d - 1
+            ):
+                supported = True
+                break
+        if supported:
+            continue
+        orphaned.add(v)
+        for w in topology.neighbors(v):
+            if (
+                w in members
+                and w not in decided
+                and old_depth.get(w) == d + 1
+            ):
+                heapq.heappush(cand_heap, (d + 1, w))
+
+    # -- Phase 2: depth repair (bounded Dijkstra, unit weights) -------------
+    # Non-orphans start at their old depth (a proven upper bound); orphans
+    # and new members start unknown.  Seeds are the only places a shortest
+    # path can change: dirty nodes (new-edge endpoints can shorten paths)
+    # and known nodes bordering the unknown region (they re-reach it).
+    new_depth: Dict[NodeId, int] = {root: 0}
+    for v, d in old_depth.items():
+        if v in members and v not in orphaned:
+            new_depth[v] = d
+    unknown = set(orphaned)
+    unknown.update(members - set(old_depth))
+    unknown.discard(root)
+
+    seeds: Set[NodeId] = {v for v in sorted(dirty_members) if v in new_depth}
+    for v in sorted(unknown):
+        for u in graph.neighbors(v):
+            if u in new_depth:
+                seeds.add(u)
+    dist_heap: List[Tuple[int, NodeId]] = [
+        (new_depth[v], v) for v in sorted(seeds)
+    ]
+    heapq.heapify(dist_heap)
+    while dist_heap:
+        d, v = heapq.heappop(dist_heap)
+        if d != new_depth.get(v):
+            continue  # stale entry
+        nd = d + 1
+        for u in graph.neighbors(v):
+            if u in members and new_depth.get(u, len(members) + 1) > nd:
+                new_depth[u] = nd
+                heapq.heappush(dist_heap, (nd, u))
+
+    missing = members - set(new_depth)
+    if missing and not partial:
+        # Mirror the full builder exactly, message included.
+        raise TreeError(
+            f"topology is not connected; unreachable nodes: {sorted(missing)}"
+        )
+
+    # -- Phase 3: canonical parent reassignment with key cascade ------------
+    new_parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+    keychanged: Set[NodeId] = set()
+    keys: Dict[NodeId, Tuple[NodeId, ...]] = {root: (root,)}
+
+    def pathkey(v: NodeId) -> Tuple[NodeId, ...]:
+        # Walk up through reassigned parents where available, previous
+        # parents otherwise (a node outside the repair set keeps its old
+        # parent, which stays canonical), memoizing the whole chain.
+        chain: List[NodeId] = []
+        cur: Optional[NodeId] = v
+        while cur is not None and cur not in keys:
+            chain.append(cur)
+            cur = (
+                new_parent[cur] if cur in new_parent else previous.parent[cur]
+            )
+        key = keys[cur] if cur is not None else ()
+        for node in reversed(chain):
+            key = key + (node,)
+            keys[node] = key
+        return keys[v]
+
+    dropped = (prev_members - set(new_depth)) | removed
+    need: Dict[int, Set[NodeId]] = {}
+
+    def enqueue(v: NodeId) -> None:
+        d = new_depth.get(v)
+        if d is not None and v != root:
+            need.setdefault(d, set()).add(v)
+
+    for v in sorted(new_depth):
+        if old_depth.get(v) != new_depth[v]:
+            enqueue(v)  # depth changed or newly reachable
+            if v in prev_members:
+                for child in previous.children(v):
+                    enqueue(child)
+    for v in sorted(dirty_members):
+        enqueue(v)
+    for v in sorted(dropped):
+        if v in prev_members:
+            for child in previous.children(v):
+                enqueue(child)
+
+    while need:
+        d = min(need)
+        bucket = need.pop(d)
+        for v in sorted(bucket):
+            best: Optional[NodeId] = None
+            best_key: Optional[Tuple[NodeId, ...]] = None
+            for u in topology.neighbors(v):
+                if u in members and new_depth.get(u) == d - 1:
+                    key = pathkey(u)
+                    if best_key is None or key < best_key:
+                        best, best_key = u, key
+            if best is None:
+                # Unreachable at this depth would have been caught above;
+                # a reachable node always has a parent one level up.
+                raise TreeError(f"node {v} has no parent candidate at depth {d}")
+            new_parent[v] = best
+            changed = (
+                v not in prev_members
+                or old_depth.get(v) != d
+                or previous.parent.get(v) != best
+                or best in keychanged
+            )
+            if changed:
+                keychanged.add(v)
+                keys[v] = pathkey(best) + (v,)
+                for w in graph.neighbors(v):
+                    if (
+                        w in members
+                        and new_depth.get(w) == d + 1
+                        and w not in need.get(d + 1, ())
+                    ):
+                        enqueue(w)
+
+    # Everyone not re-examined keeps its previous parent: its candidate set
+    # and every candidate's pathkey are untouched by the delta, so the
+    # canonical (minimum-key) choice cannot have moved.
+    for v in sorted(new_depth):
+        if v not in new_parent:
+            new_parent[v] = previous.parent[v]
+    return SpanningTree(root=root, parent=new_parent)
 
 
 @dataclasses.dataclass(frozen=True)

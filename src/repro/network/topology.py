@@ -22,14 +22,35 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
 
 from .addresses import NodeId
+from .links import within_range
+from .spatial import SpatialHash, unit_disk_edges
 
 Position = Tuple[float, float]
+
+#: Connectivity derivation strategies for the unit-disk model.  ``"spatial"``
+#: (the default) uses the grid-bucket hash in :mod:`repro.network.spatial` --
+#: O(n k) for average degree k; ``"brute"`` is the original O(n^2) all-pairs
+#: path, kept for A/B bit-identity tests.  Both produce byte-identical graphs
+#: (same edge set via the shared :func:`~repro.network.links.within_range`
+#: predicate, same lexicographic adjacency layout).
+NEIGHBOR_METHODS = ("spatial", "brute")
+DEFAULT_NEIGHBOR_METHOD = "spatial"
+
+
+def _resolve_neighbor_method(method: Optional[str]) -> str:
+    resolved = DEFAULT_NEIGHBOR_METHOD if method is None else method
+    if resolved not in NEIGHBOR_METHODS:
+        raise ValueError(
+            f"unknown neighbor method {resolved!r}; expected one of "
+            f"{NEIGHBOR_METHODS}"
+        )
+    return resolved
 
 
 @dataclasses.dataclass(frozen=True)
@@ -137,7 +158,7 @@ class Topology:
                     "neighbors must be given for topologies without comm_range"
                 )
             for other, pos in self.positions.items():
-                if math.dist(pos, positions[node_id]) <= self.comm_range:
+                if within_range(pos, positions[node_id], self.comm_range):
                     g.add_edge(node_id, other)
         else:
             for other in neighbors:
@@ -146,17 +167,45 @@ class Topology:
                 g.add_edge(node_id, other)
         return Topology(graph=g, positions=positions, comm_range=self.comm_range)
 
-    def with_positions(self, updates: Dict[NodeId, Position]) -> "Topology":
+    def with_positions(
+        self,
+        updates: Dict[NodeId, Position],
+        method: Optional[str] = None,
+    ) -> "Topology":
         """Copy of this topology with some nodes moved.
 
         Connectivity is re-derived from the unit-disk rule over the updated
         placement, so this is the substrate of the mobility scenarios: node
         movement changes links, never the node set.  Requires a
         ``comm_range`` (synthetic topologies without one have no rule to
-        re-derive links from).
+        re-derive links from).  ``method`` selects the derivation strategy
+        (see :data:`NEIGHBOR_METHODS`); callers that also need the set of
+        nodes whose neighbourhood changed should use
+        :meth:`with_positions_delta` instead.
+        """
+        return self.with_positions_delta(updates, method=method)[0]
+
+    def with_positions_delta(
+        self,
+        updates: Dict[NodeId, Position],
+        method: Optional[str] = None,
+    ) -> Tuple["Topology", Set[NodeId]]:
+        """Move nodes and report which nodes' neighbourhoods changed.
+
+        Returns ``(new topology, dirty)`` where ``dirty`` is the set of
+        endpoints of every link added or removed by the move -- exactly the
+        nodes an incremental spanning-tree repair must re-examine.
+
+        With the default ``"spatial"`` method only edges incident to moved
+        nodes are recomputed (grid-hash queries on the moved set), so a
+        re-link that moves m of n nodes costs O(n + m k) instead of the
+        brute-force O(n^2).  The resulting graph is byte-identical to a full
+        rebuild: surviving edges and recomputed edges are merged and
+        inserted in lexicographic order, the same adjacency layout both full
+        builders produce.
         """
         if not updates:
-            return self
+            return self, set()
         if self.comm_range is None:
             raise ValueError(
                 "with_positions requires a comm_range to re-derive links"
@@ -164,11 +213,63 @@ class Topology:
         unknown = [nid for nid in updates if nid not in self.graph]
         if unknown:
             raise KeyError(f"unknown nodes {sorted(unknown)}")
+        resolved = _resolve_neighbor_method(method)
         positions = dict(self.positions)
         for nid, (x, y) in updates.items():
             positions[nid] = (float(x), float(y))
-        graph = _unit_disk_graph(positions, self.comm_range)
-        return Topology(graph=graph, positions=positions, comm_range=self.comm_range)
+
+        moved = set(updates)
+        if resolved == "brute":
+            graph = _unit_disk_graph(positions, self.comm_range, method="brute")
+            dirty: Set[NodeId] = set()
+            for nid in sorted(moved):
+                old_nb = set(self.graph.neighbors(nid))
+                new_nb = set(graph.neighbors(nid))
+                changed = old_nb ^ new_nb
+                if changed:
+                    dirty.add(nid)
+                    dirty.update(changed)
+            return (
+                Topology(
+                    graph=graph, positions=positions, comm_range=self.comm_range
+                ),
+                dirty,
+            )
+
+        # Spatial delta: edges between two unmoved nodes cannot have changed,
+        # so keep them and recompute only the moved-incident ones.
+        old_touch: Set[Tuple[NodeId, NodeId]] = set()
+        for nid in sorted(moved):
+            for other in self.graph.neighbors(nid):
+                old_touch.add((nid, other) if nid < other else (other, nid))
+        grid = SpatialHash(positions, cell_size=self.comm_range)
+        new_touch: Set[Tuple[NodeId, NodeId]] = set()
+        for nid in sorted(moved):
+            for other in grid.neighbors_within(nid, self.comm_range):
+                new_touch.add((nid, other) if nid < other else (other, nid))
+        # Iterate the adjacency dicts directly rather than through the
+        # EdgeView: each (a, b) with a < b appears exactly once this way,
+        # and on the per-relink hot path the view's per-edge overhead is
+        # the single largest cost at n=500.
+        adjacency = self.graph._adj
+        edges = [
+            (a, b)
+            for a, nbrs in adjacency.items()
+            if a not in moved
+            for b in nbrs
+            if a < b and b not in moved
+        ]
+        edges.extend(sorted(new_touch))
+        edges.sort()
+        graph = _graph_from_lex_edges(positions, edges)
+        dirty = set()
+        for a, b in sorted(old_touch ^ new_touch):
+            dirty.add(a)
+            dirty.add(b)
+        return (
+            Topology(graph=graph, positions=positions, comm_range=self.comm_range),
+            dirty,
+        )
 
     def with_position(self, node_id: NodeId, position: Position) -> "Topology":
         """Copy of this topology with one node moved (see :meth:`with_positions`)."""
@@ -186,14 +287,58 @@ class Topology:
 # ---------------------------------------------------------------------------
 
 
-def _unit_disk_graph(positions: Dict[NodeId, Position], comm_range: float) -> nx.Graph:
-    """Build the unit-disk connectivity graph for the given positions."""
+def _graph_from_lex_edges(
+    positions: Dict[NodeId, Position],
+    edges: Iterable[Tuple[NodeId, NodeId]],
+) -> nx.Graph:
+    """Assemble a graph from lexicographically sorted ``(low, high)`` edges.
+
+    Produces the exact structure ``add_edges_from(edges)`` would on a graph
+    seeded with ``add_nodes_from(positions)``: inserting lex-sorted pairs
+    gives every node its neighbours in ascending id order, the adjacency
+    layout the broadcast fan-out (and therefore experiment fingerprints)
+    is pinned to.  The adjacency dicts are filled directly -- one shared
+    attribute dict per edge, stored under both endpoints, exactly as
+    ``nx.Graph.add_edge`` does -- because this sits on the mobility hot
+    path, where networkx's per-edge bookkeeping dominates the rebuild; the
+    bit-level equivalence with the public API is pinned by the spatial
+    equivalence tests.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(positions)
+    adj = g._adj
+    for a, b in edges:
+        shared: Dict = {}
+        adj[a][b] = shared
+        adj[b][a] = shared
+    return g
+
+
+def _unit_disk_graph(
+    positions: Dict[NodeId, Position],
+    comm_range: float,
+    method: Optional[str] = None,
+) -> nx.Graph:
+    """Build the unit-disk connectivity graph for the given positions.
+
+    Both methods produce byte-identical graphs: the same edge set (the
+    inclusive :func:`~repro.network.links.within_range` predicate evaluates
+    ``sqrt(dx*dx + dy*dy)`` with the same rounding as the vectorised
+    ``np.sqrt`` below) inserted in the same lexicographic order, which pins
+    the adjacency layout that broadcast fan-out -- and therefore experiment
+    fingerprints -- depend on.
+    """
+    resolved = _resolve_neighbor_method(method)
+    if resolved == "spatial":
+        return _graph_from_lex_edges(
+            positions, unit_disk_edges(positions, comm_range)
+        )
     g = nx.Graph()
     g.add_nodes_from(positions)
     ids = sorted(positions)
     coords = np.array([positions[i] for i in ids], dtype=float)
     if len(ids) > 1:
-        # Pairwise distances, vectorised; n is small (tens to hundreds).
+        # Pairwise distances, vectorised; the reference O(n^2) path.
         diffs = coords[:, None, :] - coords[None, :, :]
         dist = np.sqrt((diffs**2).sum(axis=-1))
         within = dist <= comm_range
@@ -213,6 +358,7 @@ def random_geometric_topology(
     root_id: NodeId = 0,
     root_position: Optional[Position] = None,
     max_attempts: int = 200,
+    method: Optional[str] = None,
 ) -> Topology:
     """Scatter nodes uniformly in a square field with unit-disk connectivity.
 
@@ -237,6 +383,10 @@ def random_geometric_topology(
         mimics a sink placed deliberately by the deployment team.
     max_attempts:
         Safety bound on connectivity re-draws.
+    method:
+        Connectivity derivation strategy (see :data:`NEIGHBOR_METHODS`);
+        both strategies yield byte-identical topologies, so this only
+        selects the time/space profile of the build.
 
     Raises
     ------
@@ -263,7 +413,7 @@ def random_geometric_topology(
         positions[root_id] = (float(root_pos[0]), float(root_pos[1]))
         for idx, nid in enumerate(other_ids):
             positions[nid] = (float(coords[idx, 0]), float(coords[idx, 1]))
-        graph = _unit_disk_graph(positions, comm_range)
+        graph = _unit_disk_graph(positions, comm_range, method=method)
         topo = Topology(graph=graph, positions=positions, comm_range=comm_range)
         if not ensure_connected or topo.is_connected():
             return topo

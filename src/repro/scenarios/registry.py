@@ -35,7 +35,7 @@ from .spec import (
     ScenarioConfig,
     TrafficConfig,
 )
-from .static import paper_network
+from .static import paper_network, scaled_network
 
 #: Default epochs per scenario trial for the CLI and smoke jobs (the
 #: factories accept any length; the paper campaign uses 20 000).
@@ -375,6 +375,66 @@ def _group_mobile(num_epochs: int, seed: int) -> ExperimentConfig:
                 relink_period=max(10, num_epochs // 20),
             ),
         )
+    )
+
+
+@register_scenario(
+    "scale-500",
+    "static",
+    "density-preserving 500-node static network (the large-N baseline)",
+)
+def _scale_500(num_epochs: int, seed: int) -> ExperimentConfig:
+    return scaled_network(500, num_epochs=num_epochs, seed=seed)
+
+
+@register_scenario(
+    "scale-500-mobile",
+    "mobility",
+    "500 nodes with 30 % random-waypoint drift; re-link-heavy at scale",
+)
+def _scale_500_mobile(num_epochs: int, seed: int) -> ExperimentConfig:
+    cfg = scaled_network(500, num_epochs=num_epochs, seed=seed)
+    return cfg.replace(
+        scenario=ScenarioConfig(
+            name="scale-500-mobile",
+            mobility=MobilityConfig(
+                mobile_fraction=0.3,
+                speed_min=0.2,
+                speed_max=1.0,
+                relink_period=max(2, num_epochs // 50),
+            ),
+        )
+    )
+
+
+@register_scenario(
+    "scale-500-churn",
+    "churn",
+    "500 nodes under Poisson churn with staggered revivals",
+)
+def _scale_500_churn(num_epochs: int, seed: int) -> ExperimentConfig:
+    cfg = scaled_network(500, num_epochs=num_epochs, seed=seed)
+    return cfg.replace(
+        scenario=ScenarioConfig(
+            name="scale-500-churn",
+            churn=ChurnConfig(
+                death_rate=20.0 / max(1, num_epochs),
+                start_epoch=num_epochs // 5,
+                revive_after=max(20, num_epochs // 8),
+                max_deaths=40,
+            ),
+        )
+    )
+
+
+@register_scenario(
+    "scale-5000",
+    "static",
+    "5 000-node static network; low-rank phenomena (exact field intractable)",
+)
+def _scale_5000(num_epochs: int, seed: int) -> ExperimentConfig:
+    return scaled_network(
+        5000, num_epochs=num_epochs, seed=seed, phenomena_method="lowrank"
     )
 
 

@@ -71,12 +71,17 @@ class SensorDataset:
         rng: np.random.Generator,
         specs: Optional[Dict[str, SensorTypeSpec]] = None,
         epochs_per_day: int = 2000,
+        spatial_method: str = "exact",
     ) -> "SensorDataset":
         """Generate the paper's synthetic dataset.
 
         Produces one spatio-temporally correlated field per sensor type in
         ``specs`` (the four defaults when omitted) over ``num_epochs`` epochs
-        for the given node positions.
+        for the given node positions.  ``spatial_method`` selects the
+        spatial-colouring strategy -- ``"exact"`` (the paper's dense
+        Gaussian field, unchanged draw-for-draw) or ``"lowrank"`` (the
+        random-Fourier-feature approximation needed at thousands of nodes);
+        see :class:`~repro.sensors.phenomena.PhenomenonField`.
         """
         if specs is None:
             specs = default_type_specs()
@@ -86,6 +91,7 @@ class SensorDataset:
             num_epochs,
             rng=rng,
             epochs_per_day=epochs_per_day,
+            spatial_method=spatial_method,
         )
         return cls(node_ids=node_ids, readings=readings, specs=specs)
 

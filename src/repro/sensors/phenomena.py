@@ -82,7 +82,23 @@ class PhenomenonField:
         Number of epochs in one simulated day, used for the diurnal cycle.
         The paper's runs are 20 000 epochs; with the default of 2 000 epochs
         per day that is ten simulated days.
+    spatial_method:
+        ``"exact"`` (default) colours the field through the dense Cholesky
+        factor of the RBF covariance -- O(n^2) memory and O(n^3) setup,
+        fine up to a few hundred nodes and **unchanged draw-for-draw** from
+        the original implementation.  ``"lowrank"`` approximates the same
+        kernel with ``num_features`` random Fourier features (Rahimi &
+        Recht): O(n m) everywhere, which is what makes 5 000-node datasets
+        tractable (the exact path needs ~30 s and hundreds of MB per sensor
+        type at that size).  The low-rank field is a statistical
+        approximation, not a bit-identical replacement, so it is only ever
+        selected explicitly (``ExperimentConfig.phenomena_method``).
+    num_features:
+        Number of random Fourier features for ``"lowrank"``; kernel error
+        shrinks as ``1/sqrt(m)``.
     """
+
+    SPATIAL_METHODS = ("exact", "lowrank")
 
     def __init__(
         self,
@@ -90,16 +106,41 @@ class PhenomenonField:
         positions: np.ndarray,
         rng: np.random.Generator,
         epochs_per_day: int = 2000,
+        spatial_method: str = "exact",
+        num_features: int = 256,
     ):
         if epochs_per_day <= 0:
             raise ValueError("epochs_per_day must be positive")
+        if spatial_method not in self.SPATIAL_METHODS:
+            raise ValueError(
+                f"spatial_method must be one of {self.SPATIAL_METHODS}, "
+                f"got {spatial_method!r}"
+            )
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
         self.spec = spec
         self.positions = np.asarray(positions, dtype=float)
         self.rng = rng
         self.epochs_per_day = int(epochs_per_day)
         self.num_nodes = self.positions.shape[0]
-        cov = spatial_covariance(self.positions, spec.spatial_scale)
-        self._chol = np.linalg.cholesky(cov)
+        self.spatial_method = spatial_method
+        if spatial_method == "exact":
+            cov = spatial_covariance(self.positions, spec.spatial_scale)
+            self._chol = np.linalg.cholesky(cov)
+            self._features = None
+        else:
+            if spec.spatial_scale <= 0:
+                raise ValueError("spatial_scale must be positive")
+            # Random Fourier features for the RBF kernel: spectral density
+            # is N(0, 1/scale^2) per axis, and E[2/m sum cos(w.x + b)
+            # cos(w.y + b)] = exp(-|x - y|^2 / (2 scale^2)).
+            m = int(num_features)
+            omega = rng.standard_normal(size=(m, 2)) / spec.spatial_scale
+            phase = rng.uniform(0.0, 2.0 * np.pi, size=m)
+            self._features = np.sqrt(2.0 / m) * np.cos(
+                self.positions @ omega.T + phase[None, :]
+            )
+            self._chol = None
         # Per-node phase offset so the diurnal peak sweeps across the field.
         self._phase = (
             2.0
@@ -124,9 +165,15 @@ class PhenomenonField:
         n, t = self.num_nodes, int(num_epochs)
 
         # Spatially correlated innovations: white noise per epoch, coloured
-        # across nodes by the Cholesky factor of the RBF covariance.
-        white = self.rng.standard_normal(size=(t, n))
-        spatial = white @ self._chol.T
+        # across nodes by the Cholesky factor of the RBF covariance (exact)
+        # or projected through the random Fourier features (lowrank).
+        if self.spatial_method == "exact":
+            white = self.rng.standard_normal(size=(t, n))
+            spatial = white @ self._chol.T
+        else:
+            m = self._features.shape[1]
+            white = self.rng.standard_normal(size=(t, m))
+            spatial = white @ self._features.T
 
         # Temporal AR(1) filtering along the epoch axis.  The innovation is
         # scaled by sqrt(1 - rho^2) so the stationary variance equals
@@ -136,7 +183,15 @@ class PhenomenonField:
         stochastic = lfilter([1.0], [1.0, -rho], innovations, axis=0)
         # Start the recursion from the stationary distribution rather than 0
         # so early epochs are statistically identical to late ones.
-        initial = (self.rng.standard_normal(size=n) @ self._chol.T) * spec.amplitude
+        if self.spatial_method == "exact":
+            initial = (
+                self.rng.standard_normal(size=n) @ self._chol.T
+            ) * spec.amplitude
+        else:
+            initial = (
+                self.rng.standard_normal(size=self._features.shape[1])
+                @ self._features.T
+            ) * spec.amplitude
         decay = rho ** np.arange(1, t + 1)[:, None]
         stochastic = stochastic + decay * initial[None, :]
 
@@ -161,11 +216,15 @@ def generate_fields(
     rng_for: Optional[Dict[str, np.random.Generator]] = None,
     rng: Optional[np.random.Generator] = None,
     epochs_per_day: int = 2000,
+    spatial_method: str = "exact",
+    num_features: int = 256,
 ) -> Dict[str, np.ndarray]:
     """Generate one field per sensor type.
 
     Either ``rng_for`` (a mapping type -> generator) or a single ``rng``
-    shared by all types must be provided.
+    shared by all types must be provided.  ``spatial_method`` /
+    ``num_features`` select the spatial-colouring strategy (see
+    :class:`PhenomenonField`).
     """
     if rng_for is None and rng is None:
         raise ValueError("either rng_for or rng must be provided")
@@ -173,7 +232,12 @@ def generate_fields(
     for name, spec in specs.items():
         gen = rng_for[name] if rng_for is not None else rng
         field = PhenomenonField(
-            spec, positions, rng=gen, epochs_per_day=epochs_per_day
+            spec,
+            positions,
+            rng=gen,
+            epochs_per_day=epochs_per_day,
+            spatial_method=spatial_method,
+            num_features=num_features,
         )
         out[name] = field.generate(num_epochs)
     return out

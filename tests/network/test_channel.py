@@ -318,3 +318,38 @@ class TestAddNodeAliveWiring:
         channel.add_node(10, (5.0, 0.0), neighbors=[0, 1])
         # An explicit neighbour list is honoured verbatim.
         assert channel.graph.has_edge(10, 1)
+
+
+class TestCopyOnWriteGraph:
+    """The channel adopts the topology's graph by reference and only
+    copies when it mutates connectivity itself (``add_node``)."""
+
+    def test_init_shares_graph_by_reference(self, line5):
+        _, channel = make_channel(line5)
+        assert channel.graph is line5.graph
+
+    def test_update_topology_adopts_by_reference(self, line5):
+        _, channel = make_channel(line5)
+        moved = line5.with_positions(
+            {nid: (float(nid) * 4.0, 0.0) for nid in line5.node_ids}
+        )
+        channel.update_topology(moved)
+        assert channel.graph is moved.graph
+        assert not channel._owns_graph
+
+    def test_add_node_copies_before_mutating(self, line5):
+        _, channel = make_channel(line5)
+        channel.add_node(10, (5.0, 0.0))
+        # The channel now owns a private graph; the immutable topology the
+        # trial handed over is untouched.
+        assert channel.graph is not line5.graph
+        assert 10 in channel.graph
+        assert 10 not in line5.graph
+        assert line5.graph.number_of_nodes() == 5
+
+    def test_second_add_node_reuses_private_copy(self, line5):
+        _, channel = make_channel(line5)
+        channel.add_node(10, (5.0, 0.0))
+        private = channel.graph
+        channel.add_node(11, (9.0, 0.0))
+        assert channel.graph is private

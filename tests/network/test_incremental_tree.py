@@ -1,0 +1,257 @@
+"""Tests for incremental spanning-tree repair (``update_bfs_tree``).
+
+The contract under test is exact equality: after any topology delta
+(moves, kills, revivals), the incrementally repaired tree must equal a
+full ``build_bfs_tree`` of the post-delta state -- same parent map, not
+just same depths -- because the runner's re-link path feeds the repaired
+tree straight into protocol state that fingerprints depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.spanning_tree import (
+    SpanningTree,
+    TreeError,
+    build_bfs_tree,
+    update_bfs_tree,
+)
+from repro.network.topology import Topology, random_geometric_topology
+from repro.scenarios.models import rebuild_spanning_tree
+
+
+def make_topology(seed: int, n: int = 60, area: float = 120.0) -> Topology:
+    return random_geometric_topology(
+        n, comm_range=30.0, area_size=area, rng=np.random.default_rng(seed)
+    )
+
+
+def assert_trees_equal(incremental: SpanningTree, full: SpanningTree) -> None:
+    assert incremental.root == full.root
+    assert incremental.parent == full.parent
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [2, 11, 29])
+    def test_random_move_sequences(self, seed):
+        topo = make_topology(seed)
+        alive = set(topo.positions)
+        tree = build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(12):
+            ids = sorted(topo.positions)
+            k = int(rng.integers(1, 8))
+            chosen = rng.choice(len(ids), size=k, replace=False)
+            updates = {
+                ids[int(i)]: (
+                    float(rng.uniform(0, 120)),
+                    float(rng.uniform(0, 120)),
+                )
+                for i in sorted(chosen)
+            }
+            topo, dirty = topo.with_positions_delta(updates)
+            tree = update_bfs_tree(
+                tree, topo, root=0, alive=alive, dirty=dirty, partial=True
+            )
+            assert_trees_equal(
+                tree, build_bfs_tree(topo, root=0, alive=alive, partial=True)
+            )
+
+    @pytest.mark.parametrize("seed", [5, 19])
+    def test_mixed_move_kill_revive_sequences(self, seed):
+        topo = make_topology(seed)
+        alive = set(topo.positions)
+        dead: set = set()
+        tree = build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        rng = np.random.default_rng(seed + 7)
+        for step in range(15):
+            dirty: set = set()
+            action = step % 3
+            if action == 0:  # move a few nodes
+                ids = sorted(topo.positions)
+                chosen = rng.choice(len(ids), size=4, replace=False)
+                updates = {
+                    ids[int(i)]: (
+                        float(rng.uniform(0, 120)),
+                        float(rng.uniform(0, 120)),
+                    )
+                    for i in sorted(chosen)
+                }
+                topo, dirty = topo.with_positions_delta(updates)
+            elif action == 1:  # kill one non-root node
+                candidates = sorted(alive - {0})
+                victim = candidates[int(rng.integers(len(candidates)))]
+                alive.discard(victim)
+                dead.add(victim)
+            elif dead:  # revive one node
+                back = sorted(dead)[int(rng.integers(len(dead)))]
+                dead.discard(back)
+                alive.add(back)
+            tree = update_bfs_tree(
+                tree, topo, root=0, alive=alive, dirty=dirty, partial=True
+            )
+            assert_trees_equal(
+                tree, build_bfs_tree(topo, root=0, alive=alive, partial=True)
+            )
+
+    def test_single_move_gaining_root_edge(self):
+        # Regression: a node moving directly into the root's range must be
+        # re-seeded from the root even when the root itself never moved.
+        positions = {
+            0: (0.0, 0.0),
+            1: (25.0, 0.0),
+            2: (50.0, 0.0),
+            3: (75.0, 0.0),
+        }
+        topo = make_topology(1, n=4).with_positions(positions)
+        tree = build_bfs_tree(topo, root=0, partial=True)
+        assert tree.parent[3] == 2
+        moved, dirty = topo.with_positions_delta({3: (10.0, 10.0)})
+        repaired = update_bfs_tree(
+            tree, moved, root=0, dirty=dirty, partial=True
+        )
+        assert repaired.parent[3] == 0
+        assert_trees_equal(
+            repaired, build_bfs_tree(moved, root=0, partial=True)
+        )
+
+    def test_partition_and_reconnect(self):
+        # A bridge node dies (partition), then revives (reconnect); the
+        # incremental repair must drop and re-admit the far side exactly
+        # as a full rebuild does.
+        positions = {
+            0: (0.0, 0.0),
+            1: (25.0, 0.0),
+            2: (50.0, 0.0),
+            3: (60.0, 10.0),
+        }
+        topo = make_topology(1, n=4).with_positions(positions)
+        alive = {0, 1, 2, 3}
+        tree = build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        alive.discard(1)
+        cut = update_bfs_tree(
+            tree, topo, root=0, alive=alive, dirty=(), partial=True
+        )
+        full_cut = build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        assert_trees_equal(cut, full_cut)
+        assert set(cut.parent) == {0}
+        alive.add(1)
+        healed = update_bfs_tree(
+            cut, topo, root=0, alive=alive, dirty=(), partial=True
+        )
+        assert_trees_equal(
+            healed, build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        )
+        assert set(healed.parent) == {0, 1, 2, 3}
+
+
+class TestFallbacksAndErrors:
+    def test_previous_none_builds_from_scratch(self):
+        topo = make_topology(3)
+        tree = update_bfs_tree(None, topo, root=0, partial=True)
+        assert_trees_equal(tree, build_bfs_tree(topo, root=0, partial=True))
+
+    def test_root_mismatch_falls_back_to_full_build(self):
+        topo = make_topology(4)
+        other_root = sorted(topo.positions)[1]
+        previous = build_bfs_tree(topo, root=other_root, partial=True)
+        tree = update_bfs_tree(previous, topo, root=0, partial=True)
+        assert_trees_equal(tree, build_bfs_tree(topo, root=0, partial=True))
+
+    def test_large_dirty_set_falls_back_and_stays_correct(self):
+        topo = make_topology(6)
+        alive = set(topo.positions)
+        tree = build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        ids = sorted(topo.positions)
+        rng = np.random.default_rng(9)
+        updates = {
+            nid: (float(rng.uniform(0, 120)), float(rng.uniform(0, 120)))
+            for nid in ids[1:]
+        }
+        moved, dirty = topo.with_positions_delta(updates)
+        assert len(dirty) > 0.25 * len(alive)  # beyond the repair threshold
+        repaired = update_bfs_tree(
+            tree, moved, root=0, alive=alive, dirty=dirty, partial=True
+        )
+        assert_trees_equal(
+            repaired, build_bfs_tree(moved, root=0, alive=alive, partial=True)
+        )
+
+    def test_threshold_zero_always_rebuilds_and_matches(self):
+        topo = make_topology(7)
+        tree = build_bfs_tree(topo, root=0, partial=True)
+        moved, dirty = topo.with_positions_delta(
+            {sorted(topo.positions)[1]: (60.0, 60.0)}
+        )
+        repaired = update_bfs_tree(
+            tree, moved, root=0, dirty=dirty, partial=True, rebuild_threshold=0.0
+        )
+        assert_trees_equal(repaired, build_bfs_tree(moved, root=0, partial=True))
+
+    def test_unreachable_nodes_raise_identically_when_not_partial(self):
+        positions = {0: (0.0, 0.0), 1: (25.0, 0.0), 2: (200.0, 200.0)}
+        topo = make_topology(1, n=3).with_positions(positions)
+        with pytest.raises(TreeError) as full_err:
+            build_bfs_tree(topo, root=0, partial=False)
+        previous = build_bfs_tree(topo, root=0, partial=True)
+        with pytest.raises(TreeError) as inc_err:
+            update_bfs_tree(previous, topo, root=0, dirty={2}, partial=False)
+        assert str(inc_err.value) == str(full_err.value)
+
+    def test_no_change_returns_equal_tree(self):
+        topo = make_topology(8)
+        tree = build_bfs_tree(topo, root=0, partial=True)
+        repaired = update_bfs_tree(tree, topo, root=0, dirty=(), partial=True)
+        assert_trees_equal(repaired, tree)
+
+
+class TestRebuildSpanningTreeDelegation:
+    def test_with_previous_and_dirty_is_incremental_and_identical(self):
+        topo = make_topology(12)
+        alive = set(topo.positions)
+        tree = build_bfs_tree(topo, root=0, alive=alive, partial=True)
+        moved, dirty = topo.with_positions_delta(
+            {sorted(topo.positions)[5]: (10.0, 90.0)}
+        )
+        via_delegate = rebuild_spanning_tree(
+            moved, alive, 0, previous=tree, dirty=dirty
+        )
+        via_full = rebuild_spanning_tree(moved, alive, 0)
+        assert_trees_equal(via_delegate, via_full)
+
+    def test_without_previous_is_the_full_build(self):
+        topo = make_topology(13)
+        alive = set(topo.positions)
+        assert_trees_equal(
+            rebuild_spanning_tree(topo, alive, 0),
+            build_bfs_tree(topo, root=0, alive=alive, partial=True),
+        )
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        with pytest.raises(TreeError, match="cycle detected through node"):
+            SpanningTree(root=0, parent={0: None, 1: 2, 2: 1})
+
+    def test_two_node_cycle_detected(self):
+        with pytest.raises(TreeError, match="cycle detected through node"):
+            SpanningTree(root=0, parent={0: None, 1: 0, 2: 3, 3: 2})
+
+    def test_non_root_without_parent_rejected(self):
+        with pytest.raises(TreeError, match="has no parent"):
+            SpanningTree(root=0, parent={0: None, 1: None})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TreeError, match="unknown parent"):
+            SpanningTree(root=0, parent={0: None, 1: 99})
+
+    def test_large_valid_tree_validates(self):
+        # The memoized validator must accept a deep valid tree (and stay
+        # O(n): a 2000-node path would time out under O(n * depth)).
+        n = 2000
+        parent = {0: None}
+        parent.update({i: i - 1 for i in range(1, n)})
+        tree = SpanningTree(root=0, parent=parent)
+        assert tree.parent[n - 1] == n - 2

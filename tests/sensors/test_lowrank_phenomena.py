@@ -1,0 +1,140 @@
+"""Tests for the low-rank (random Fourier feature) phenomena path.
+
+The low-rank field is the scalability escape hatch for 1 000+ node
+datasets.  Two contracts matter: the exact path is byte-unchanged by the
+new ``spatial_method`` parameter (the default draws the same numbers it
+always did), and the low-rank field is a faithful statistical stand-in
+(same marginal scale, correlation decaying with distance, deterministic
+under a fixed seed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sensors.dataset import SensorDataset
+from repro.sensors.phenomena import PhenomenonField, generate_fields
+from repro.sensors.types import SensorTypeSpec
+
+
+@pytest.fixture
+def positions(rng):
+    return rng.uniform(0, 100, size=(40, 2))
+
+
+SPEC = SensorTypeSpec("t", base_value=20.0, amplitude=2.0, spatial_scale=25.0)
+
+
+class TestLowRankField:
+    def test_shape_and_finiteness(self, positions):
+        field = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(1),
+            spatial_method="lowrank",
+        )
+        data = field.generate(120)
+        assert data.shape == (120, len(positions))
+        assert np.isfinite(data).all()
+
+    def test_invalid_method_rejected(self, positions):
+        with pytest.raises(ValueError, match="spatial_method"):
+            PhenomenonField(
+                SPEC,
+                positions,
+                rng=np.random.default_rng(1),
+                spatial_method="sparse",
+            )
+
+    def test_deterministic_for_same_seed(self, positions):
+        a = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(9),
+            spatial_method="lowrank",
+        ).generate(50)
+        b = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(9),
+            spatial_method="lowrank",
+        ).generate(50)
+        assert np.array_equal(a, b)
+
+    def test_marginal_scale_matches_exact_path(self, positions):
+        exact = PhenomenonField(
+            SPEC, positions, rng=np.random.default_rng(3)
+        ).generate(600)
+        lowrank = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(3),
+            spatial_method="lowrank",
+        ).generate(600)
+        assert np.mean(lowrank) == pytest.approx(np.mean(exact), abs=1.0)
+        assert np.std(lowrank) == pytest.approx(np.std(exact), rel=0.35)
+
+    def test_correlation_decays_with_distance(self):
+        # Three collinear nodes: near pair 5 m apart, far pair 90 m apart.
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [90.0, 0.0]])
+        data = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(5),
+            spatial_method="lowrank",
+            num_features=512,
+        ).generate(4000)
+        corr = np.corrcoef(data.T)
+        assert corr[0, 1] > 0.7
+        assert corr[0, 1] > corr[0, 2] + 0.3
+
+    def test_scales_to_thousands_of_nodes(self, rng):
+        positions = rng.uniform(0, 1000, size=(3000, 2))
+        data = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(7),
+            spatial_method="lowrank",
+        ).generate(10)
+        assert data.shape == (10, 3000)
+        assert np.isfinite(data).all()
+
+
+class TestExactPathUnchanged:
+    def test_default_equals_explicit_exact(self, positions):
+        default = PhenomenonField(
+            SPEC, positions, rng=np.random.default_rng(11)
+        ).generate(80)
+        explicit = PhenomenonField(
+            SPEC,
+            positions,
+            rng=np.random.default_rng(11),
+            spatial_method="exact",
+        ).generate(80)
+        assert np.array_equal(default, explicit)
+
+    def test_dataset_generate_default_is_exact(self, positions):
+        ids = list(range(len(positions)))
+        default = SensorDataset.generate(
+            ids, positions, 60, rng=np.random.default_rng(13)
+        )
+        explicit = SensorDataset.generate(
+            ids,
+            positions,
+            60,
+            rng=np.random.default_rng(13),
+            spatial_method="exact",
+        )
+        for stype in default.sensor_types:
+            assert np.array_equal(
+                default.readings[stype], explicit.readings[stype]
+            )
+
+    def test_generate_fields_lowrank_plumbs_through(self, positions):
+        fields = generate_fields(
+            {"t": SPEC},
+            positions,
+            30,
+            rng=np.random.default_rng(17),
+            spatial_method="lowrank",
+        )
+        assert fields["t"].shape == (30, len(positions))

@@ -601,3 +601,162 @@ class TestCLI:
         bad.write_text("def oops(:\n", encoding="utf-8")
         assert cli.main([str(bad)]) == 1
         assert "RL001" in capsys.readouterr().out
+
+
+class TestBucketTableRules:
+    """RL110 extension: dict-of-sets bucket tables drained in raw order."""
+
+    def test_annotated_bucket_dict_iteration_flagged(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict, Set, Tuple
+
+            def drain(buckets: Dict[Tuple[int, int], Set[int]]):
+                for cell in buckets:
+                    print(cell)
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == ["RL110"]
+
+    def test_defaultdict_of_sets_assignment_flagged(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from collections import defaultdict
+
+            def group(pairs):
+                table = defaultdict(set)
+                for key, nid in pairs:
+                    table[key].add(nid)
+                return [key for key in table]
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == ["RL110"]
+
+    def test_bucket_subscript_iteration_flagged(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict, Set
+
+            def members(buckets: Dict[int, Set[int]], cell: int):
+                return [nid for nid in buckets[cell]]
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == ["RL110"]
+
+    def test_bucket_get_iteration_flagged(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict, Set
+
+            def members(buckets: Dict[int, Set[int]], cell: int):
+                for nid in buckets.get(cell, frozenset()):
+                    yield nid
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == ["RL110"]
+
+    def test_items_and_keys_drains_flagged(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict, Set
+
+            def pairs(buckets: Dict[int, Set[int]]):
+                for cell, members in buckets.items():
+                    print(cell, members)
+                for cell in buckets.keys():
+                    print(cell)
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == ["RL110", "RL110"]
+
+    def test_sorted_bucket_iteration_is_clean(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict, Set
+
+            def drain(buckets: Dict[int, Set[int]], cell: int):
+                for key in sorted(buckets):
+                    yield key
+                for nid in sorted(buckets[cell]):
+                    yield nid
+                for nid in sorted(buckets.get(cell, frozenset())):
+                    yield nid
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == []
+
+    def test_plain_dict_is_not_a_bucket_table(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict
+
+            def drain(counts: Dict[str, int], key: str):
+                for name in counts:
+                    yield name
+                print(counts[key])
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == []
+
+    def test_self_attr_bucket_iteration_flagged(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            from typing import Dict, Set
+
+            class Grid:
+                def __init__(self):
+                    self._buckets: Dict[int, Set[int]] = {}
+
+                def drain(self):
+                    for cell in self._buckets:
+                        yield cell
+            """,
+            determinism_critical=True,
+        )
+        assert determinism_codes(src) == ["RL110"]
+
+    def test_collect_global_bucket_attrs_cross_file(self, tmp_path):
+        declaring = make_source(
+            tmp_path,
+            """
+            from collections import defaultdict
+
+            class Index:
+                def __init__(self):
+                    self._cells = defaultdict(set)
+            """,
+            name="declares.py",
+        )
+        using = make_source(
+            tmp_path,
+            """
+            class View:
+                def walk(self, index):
+                    for cell in index._cells:
+                        yield cell
+            """,
+            name="uses.py",
+            determinism_critical=True,
+        )
+        attrs = rules_determinism.collect_global_bucket_attrs([declaring])
+        assert attrs == {"_cells"}
+        findings, _ = core.apply_pragmas(
+            rules_determinism.check([declaring, using]), [declaring, using]
+        )
+        assert [f.code for f in findings] == ["RL110"]
+        assert findings[0].path.endswith("uses.py")

@@ -49,6 +49,7 @@ ARGPARSE_CLIS = {
     "repro.scenarios.run",
     "benchmarks.bench_engine",
     "benchmarks.bench_scenarios",
+    "benchmarks.bench_scale",
     "tools.reprolint",
 }
 

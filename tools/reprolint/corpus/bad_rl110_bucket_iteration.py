@@ -1,0 +1,37 @@
+# reprolint-corpus: expect=RL110
+"""Known-bad: bucket tables (dicts of sets) iterated in hash/raw order.
+
+The spatial-hash contract drains buckets in sorted cell order and yields
+sorted members; every loop below leaks insertion or hash order instead.
+"""
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+Cell = Tuple[int, int]
+
+
+class Grid:
+    def __init__(self):
+        self._buckets: Dict[Cell, Set[int]] = {}
+
+    def drain(self):
+        for cell in self._buckets:  # raw key order, not sorted cells
+            yield cell
+
+    def members(self, cell: Cell):
+        return [nid for nid in self._buckets[cell]]  # set order
+
+
+def collide(buckets: Dict[Cell, Set[int]]):
+    hits = []
+    for cell, members in buckets.items():  # raw key order
+        for nid in members:
+            hits.append((cell, nid))
+    return hits
+
+
+def group(pairs):
+    table = defaultdict(set)
+    for key, nid in pairs:
+        table[key].add(nid)
+    return {key: len(table.get(key)) for key in table.keys()}  # raw order

@@ -12,6 +12,12 @@ RL110 uses a deliberately simple, local type inference: a name is
 ``set()`` / set comprehension / set operator, or when the attribute name
 is declared set-typed by any class in the scanned file set (which is how
 ``config.initially_dead`` is recognised far from its declaration).
+The same inference extends to *bucket tables* -- dicts of sets, declared
+via a ``Dict[..., Set[...]]``-style annotation or a ``defaultdict(set)``
+assignment (the spatial-hash shape): ``buckets[cell]`` and
+``buckets.get(cell)`` count as sets, and draining the table itself (or
+its ``keys()``/``items()``/``values()``) in raw key order is flagged,
+since the canonical drain order for buckets is sorted cell order.
 False positives are expected to be rare and are suppressed with a
 ``# reprolint: disable=RL110`` pragma carrying a one-line justification.
 """
@@ -53,6 +59,14 @@ _SET_ANNOTATION_NAMES = {
 
 _SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
 
+_DICT_ANNOTATION_NAMES = {
+    "Dict",
+    "DefaultDict",
+    "Mapping",
+    "MutableMapping",
+    "dict",
+}
+
 
 def _annotation_is_set(node: ast.AST) -> bool:
     """Whether an annotation expression denotes a set type.
@@ -74,6 +88,41 @@ def _annotation_is_set(node: ast.AST) -> bool:
     return name.rsplit(".", 1)[-1] in _SET_ANNOTATION_NAMES
 
 
+def _annotation_is_bucket_dict(node: ast.AST) -> bool:
+    """Whether an annotation denotes a dict whose *values* are sets.
+
+    ``Dict[Cell, Set[NodeId]]`` (and the ``DefaultDict`` / ``Mapping``
+    variants) is the bucket-table shape spatial hashing uses; iterating
+    such a structure's value sets -- or draining the table itself in raw
+    key order -- is the same hash-order hazard RL110 exists to catch.
+    """
+    if not isinstance(node, ast.Subscript):
+        return False
+    base = dotted_name(node.value) or ""
+    leaf = base.rsplit(".", 1)[-1]
+    if leaf == "Optional":
+        return _annotation_is_bucket_dict(node.slice)
+    if leaf not in _DICT_ANNOTATION_NAMES:
+        return False
+    sl = node.slice
+    return (
+        isinstance(sl, ast.Tuple)
+        and len(sl.elts) == 2
+        and _annotation_is_set(sl.elts[1])
+    )
+
+
+def _is_defaultdict_of_sets(node: ast.AST) -> bool:
+    """``defaultdict(set)`` / ``collections.defaultdict(frozenset)``."""
+    if not (isinstance(node, ast.Call) and node.args):
+        return False
+    name = dotted_name(node.func) or ""
+    if name.rsplit(".", 1)[-1] != "defaultdict":
+        return False
+    factory = dotted_name(node.args[0])
+    return factory in ("set", "frozenset")
+
+
 def _call_name(node: ast.expr) -> Optional[str]:
     if isinstance(node, ast.Call):
         return dotted_name(node.func)
@@ -81,12 +130,25 @@ def _call_name(node: ast.expr) -> Optional[str]:
 
 
 class _SetTracker:
-    """Per-scope table of set-typed names and ``self.<attr>`` attributes."""
+    """Per-scope table of set-typed names and ``self.<attr>`` attributes.
 
-    def __init__(self, global_set_attrs: Set[str]):
+    Also tracks *bucket tables* -- dicts whose values are sets, the
+    spatial-hash shape -- so that ``buckets[cell]`` / ``buckets.get(cell)``
+    count as set-typed expressions and draining the table itself in raw
+    key order is flagged alongside plain set iteration.
+    """
+
+    def __init__(
+        self,
+        global_set_attrs: Set[str],
+        global_bucket_attrs: Optional[Set[str]] = None,
+    ):
         self.names: Set[str] = set()
         self.self_attrs: Set[str] = set()
         self.global_set_attrs = global_set_attrs
+        self.bucket_names: Set[str] = set()
+        self.bucket_self_attrs: Set[str] = set()
+        self.global_bucket_attrs = global_bucket_attrs or set()
 
     def is_setty(self, node: ast.expr) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
@@ -101,19 +163,38 @@ class _SetTracker:
             ):
                 return True
             return node.attr in self.global_set_attrs
+        if isinstance(node, ast.Subscript):
+            # buckets[cell] is one bucket: a set.
+            return self.is_bucketty(node.value)
         if isinstance(node, ast.Call):
             name = dotted_name(node.func)
             if name in ("set", "frozenset"):
                 return True
-            if (
-                isinstance(node.func, ast.Attribute)
-                and node.func.attr in _SET_METHODS
-            ):
-                return self.is_setty(node.func.value)
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SET_METHODS:
+                    return self.is_setty(node.func.value)
+                if node.func.attr == "get" and self.is_bucketty(
+                    node.func.value
+                ):
+                    return True
             return False
         if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
             return self.is_setty(node.left) or self.is_setty(node.right)
         return False
+
+    def is_bucketty(self, node: ast.expr) -> bool:
+        """Whether ``node`` denotes a dict-of-sets bucket table."""
+        if isinstance(node, ast.Name):
+            return node.id in self.bucket_names
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.bucket_self_attrs
+            ):
+                return True
+            return node.attr in self.global_bucket_attrs
+        return _is_defaultdict_of_sets(node)
 
     def learn(self, target: ast.expr, *, setty: bool) -> None:
         if isinstance(target, ast.Name):
@@ -130,6 +211,16 @@ class _SetTracker:
                 self.self_attrs.add(target.attr)
             else:
                 self.self_attrs.discard(target.attr)
+
+    def learn_bucket(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.bucket_names.add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.bucket_self_attrs.add(target.attr)
 
 
 def collect_global_set_attrs(files: Iterable[SourceFile]) -> Set[str]:
@@ -161,6 +252,32 @@ def collect_global_set_attrs(files: Iterable[SourceFile]) -> Set[str]:
     return attrs
 
 
+def collect_global_bucket_attrs(files: Iterable[SourceFile]) -> Set[str]:
+    """Attribute names declared as dict-of-sets bucket tables anywhere.
+
+    The bucket analogue of :func:`collect_global_set_attrs`: pulls from
+    ``_buckets: Dict[Cell, Set[NodeId]]``-style annotations and from
+    ``self.x = defaultdict(set)`` constructor assignments.
+    """
+    attrs: Set[str] = set()
+    for src in files:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_bucket_dict(
+                node.annotation
+            ):
+                if isinstance(node.target, ast.Name):
+                    attrs.add(node.target.id)
+                elif isinstance(node.target, ast.Attribute):
+                    attrs.add(node.target.attr)
+            elif isinstance(node, ast.Assign) and _is_defaultdict_of_sets(
+                node.value
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        attrs.add(target.attr)
+    return attrs
+
+
 def _scopes(tree: ast.Module):
     """Yield (body, is_module_scope) for the module and each function."""
     yield tree.body, True
@@ -169,23 +286,31 @@ def _scopes(tree: ast.Module):
             yield node.body, False
 
 
-def _check_rl110(src: SourceFile, global_set_attrs: Set[str]) -> List[Finding]:
+def _check_rl110(
+    src: SourceFile,
+    global_set_attrs: Set[str],
+    global_bucket_attrs: Set[str],
+) -> List[Finding]:
     findings: List[Finding] = []
     self_attrs: Set[str] = set()
+    bucket_self_attrs: Set[str] = set()
     # Pass 1: class-wide self attributes (annotations + assignments).
     for node in ast.walk(src.tree):
-        if isinstance(node, ast.AnnAssign) and _annotation_is_set(
-            node.annotation
-        ):
+        if isinstance(node, ast.AnnAssign):
             if (
                 isinstance(node.target, ast.Attribute)
                 and isinstance(node.target.value, ast.Name)
                 and node.target.value.id == "self"
             ):
-                self_attrs.add(node.target.attr)
+                if _annotation_is_set(node.annotation):
+                    self_attrs.add(node.target.attr)
+                elif _annotation_is_bucket_dict(node.annotation):
+                    bucket_self_attrs.add(node.target.attr)
         elif isinstance(node, ast.Assign):
-            probe = _SetTracker(global_set_attrs)
-            if not probe.is_setty(node.value):
+            probe = _SetTracker(global_set_attrs, global_bucket_attrs)
+            value_setty = probe.is_setty(node.value)
+            value_bucket = _is_defaultdict_of_sets(node.value)
+            if not (value_setty or value_bucket):
                 continue
             for target in node.targets:
                 if (
@@ -193,12 +318,16 @@ def _check_rl110(src: SourceFile, global_set_attrs: Set[str]) -> List[Finding]:
                     and isinstance(target.value, ast.Name)
                     and target.value.id == "self"
                 ):
-                    self_attrs.add(target.attr)
+                    if value_setty:
+                        self_attrs.add(target.attr)
+                    else:
+                        bucket_self_attrs.add(target.attr)
 
     seen: Set[int] = set()
     for body, _is_module in _scopes(src.tree):
-        tracker = _SetTracker(global_set_attrs)
+        tracker = _SetTracker(global_set_attrs, global_bucket_attrs)
         tracker.self_attrs = set(self_attrs)
+        tracker.bucket_self_attrs = set(bucket_self_attrs)
         # Gather set-typed names in this scope (annotations + assignments).
         for stmt in body:
             for node in ast.walk(stmt):
@@ -208,18 +337,25 @@ def _check_rl110(src: SourceFile, global_set_attrs: Set[str]) -> List[Finding]:
                         + node.args.args
                         + node.args.kwonlyargs
                     ):
-                        if arg.annotation is not None and _annotation_is_set(
-                            arg.annotation
-                        ):
+                        if arg.annotation is None:
+                            continue
+                        if _annotation_is_set(arg.annotation):
                             tracker.names.add(arg.arg)
+                        elif _annotation_is_bucket_dict(arg.annotation):
+                            tracker.bucket_names.add(arg.arg)
                 elif isinstance(node, ast.AnnAssign):
                     if _annotation_is_set(node.annotation):
                         tracker.learn(node.target, setty=True)
+                    elif _annotation_is_bucket_dict(node.annotation):
+                        tracker.learn_bucket(node.target)
                 elif isinstance(node, ast.Assign):
                     setty = tracker.is_setty(node.value)
+                    bucket = _is_defaultdict_of_sets(node.value)
                     for target in node.targets:
                         if setty:
                             tracker.learn(target, setty=True)
+                        elif bucket:
+                            tracker.learn_bucket(target)
         # Flag unsorted iteration.
         for stmt in body:
             for node in ast.walk(stmt):
@@ -231,7 +367,9 @@ def _check_rl110(src: SourceFile, global_set_attrs: Set[str]) -> List[Finding]:
                 ):
                     iters.extend(gen.iter for gen in node.generators)
                 for it in iters:
-                    if tracker.is_setty(it) and id(it) not in seen:
+                    if id(it) in seen:
+                        continue
+                    if tracker.is_setty(it):
                         seen.add(id(it))
                         findings.append(
                             Finding(
@@ -246,12 +384,40 @@ def _check_rl110(src: SourceFile, global_set_attrs: Set[str]) -> List[Finding]:
                                 ),
                             )
                         )
+                    elif _is_bucket_drain(it, tracker):
+                        seen.add(id(it))
+                        findings.append(
+                            Finding(
+                                code="RL110",
+                                path=src.rel,
+                                line=it.lineno,
+                                message=(
+                                    "bucket table drained in raw key "
+                                    "order in determinism-critical code; "
+                                    "iterate sorted(cells) and sorted "
+                                    "bucket members instead"
+                                ),
+                            )
+                        )
     return findings
+
+
+def _is_bucket_drain(it: ast.expr, tracker: _SetTracker) -> bool:
+    """Iteration over a bucket table itself or its keys/items/values."""
+    if tracker.is_bucketty(it):
+        return True
+    return (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Attribute)
+        and it.func.attr in ("keys", "items", "values")
+        and tracker.is_bucketty(it.func.value)
+    )
 
 
 def check(files: List[SourceFile]) -> List[Finding]:
     findings: List[Finding] = []
     global_set_attrs = collect_global_set_attrs(files)
+    global_bucket_attrs = collect_global_bucket_attrs(files)
     for src in files:
         for node in ast.walk(src.tree):
             if isinstance(node, ast.Import):
@@ -373,5 +539,7 @@ def check(files: List[SourceFile]) -> List[Finding]:
                         )
                     )
         if src.determinism_critical:
-            findings.extend(_check_rl110(src, global_set_attrs))
+            findings.extend(
+                _check_rl110(src, global_set_attrs, global_bucket_attrs)
+            )
     return findings
