@@ -5,7 +5,7 @@ event compaction, batched channel fan-out, and the runner's O(1) epoch
 drain.  They run both as conventional pytest-benchmark timings and as a CLI
 smoke check for CI::
 
-    PYTHONPATH=src python -m benchmarks.bench_engine --smoke
+    PYTHONPATH=src python -m benchmarks.bench_engine --smoke --json BENCH_engine.json
 
 The smoke mode runs scaled-down workloads and asserts the engine's
 compaction bound and the smoke sweep's bit-exact determinism; event
@@ -29,6 +29,7 @@ fingerprints (see tests/experiments/test_fastpath_determinism.py).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -156,6 +157,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "on the deterministic checks and leaves this off."
         ),
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="",
+        help="write the measured numbers as a JSON report (the committed "
+        "BENCH_engine.json artifact is produced this way)",
+    )
     args = parser.parse_args(argv)
 
     num_events = 50_000 if args.smoke else args.events
@@ -181,6 +189,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     drain = time.perf_counter() - start
     print(f"engine: 20k-epoch boundary drain in {drain:.3f}s")
 
+    report = {
+        "smoke": bool(args.smoke),
+        "chained_events": {
+            "num_events": executed,
+            "wall_s": round(elapsed, 4),
+            "events_per_s": round(rate, 1),
+        },
+        "timer_churn": {
+            "pending": sim.pending,
+            "queue_size": sim.queue_size,
+            "compaction_bound": bound,
+        },
+        "epoch_drain": {"num_epochs": 20_000, "wall_s": round(drain, 4)},
+    }
+
     if args.smoke:
         from repro.experiments.batch import BatchRunner
         from repro.experiments.scenarios import smoke_sweep
@@ -193,6 +216,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("FAIL: smoke sweep is not deterministic", file=sys.stderr)
             return 1
         print(f"smoke sweep: {len(specs)} trials, fingerprints reproducible")
+        report["smoke_sweep"] = {
+            "trials": len(specs),
+            "deterministic": True,
+            "fingerprints": first,
+        }
 
         if args.min_events_per_second > 0 and rate < args.min_events_per_second:
             print(
@@ -201,6 +229,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
     print("bench_engine: OK")
     return 0
 

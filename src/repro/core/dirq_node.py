@@ -76,6 +76,7 @@ class DirQNode(DisseminationProtocol):
         )
         # Statistics the experiments read off each node.
         self.updates_sent = 0
+        self.updates_suppressed = 0
         self.queries_received = 0
         self.queries_forwarded = 0
         self.estimates_relayed = 0
@@ -177,6 +178,7 @@ class DirQNode(DisseminationProtocol):
                     and memo[0] == table._version
                     and memo[1] == delta
                 ):
+                    self.updates_suppressed += 1
                     continue
             else:
                 table.observe_reading(reading, delta)
@@ -203,6 +205,7 @@ class DirQNode(DisseminationProtocol):
             delta = self.current_delta(sensor_type)
         aggregate = table.pending_update(delta)
         if aggregate is None:
+            self.updates_suppressed += 1
             return
         table.mark_transmitted(aggregate)
         if self.parent is None:

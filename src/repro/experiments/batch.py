@@ -105,15 +105,25 @@ DEFAULT_REPLICATES = 5
 #: fix), so results no longer depend on the ``initially_dead`` set's
 #: insertion history -- energy ledgers/breakdowns change for multi-node
 #: initially_dead configs whose iteration order differed from sorted.
-CACHE_VERSION = 5
+#: v6: ``TrialResult`` gained the hash-exempt ``telemetry`` field (obs
+#: subsystem) that older pickles lack; measurements are unchanged, but a
+#: v5 pickle would raise on the missing attribute.
+CACHE_VERSION = 6
 
 #: Config-dataclass fields deliberately excluded from hash coverage, as
 #: ``"ClassName.field"`` strings.  The reprolint RL2xx rules verify that
 #: every field of every config dataclass is reachable from
 #: :func:`_canonical` (hence :func:`config_hash`) *or* listed here with a
 #: written rationale -- an unhashed field would silently alias distinct
-#: configs onto one cache entry.  Empty today: every field is hashed.
-HASH_EXEMPT: frozenset = frozenset()
+#: configs onto one cache entry.
+#:
+#: ``ExperimentConfig.instrument``: the observability level.  It selects
+#: how much the obs layer *records* about a trial, never what the trial
+#: computes, so instrumented and uninstrumented runs of one config must
+#: share a cache key -- hashing it would fork the cache for bit-identical
+#: results.  Enforced from the other side by ``ExperimentConfig.
+#: HASH_EXCLUDE`` (reprolint RL505 checks the pairing).
+HASH_EXEMPT: frozenset = frozenset({"ExperimentConfig.instrument"})
 
 
 # ---------------------------------------------------------------------------
@@ -130,13 +140,22 @@ def _canonical(obj: object) -> object:
     config dataclass: a new optional field listed there leaves the
     canonical payload -- hence every cache key, manifest, and fingerprint
     -- of all pre-extension configs byte-identical.
+
+    A ``HASH_EXCLUDE`` class attribute names fields dropped from the
+    canonical form *unconditionally* (today: ``ExperimentConfig.
+    instrument``): observation knobs that never influence the simulated
+    outcome, so configs differing only there must alias onto one cache
+    entry on purpose.  Every excluded field must be justified in
+    :data:`HASH_EXEMPT`.
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         omit = getattr(type(obj), "HASH_OMIT_WHEN_UNSET", ())
+        exclude = getattr(type(obj), "HASH_EXCLUDE", ())
         return {
             f.name: _canonical(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
-            if not (f.name in omit and getattr(obj, f.name) is None)
+            if f.name not in exclude
+            and not (f.name in omit and getattr(obj, f.name) is None)
         }
     if isinstance(obj, dict):
         return {
@@ -264,6 +283,13 @@ class TrialResult:
     num_relinks: int = 0
     runtime_seconds: float = 0.0
     from_cache: bool = False
+    #: Observability payload (``repro.obs``): metric snapshots, phase
+    #: profile, trace summary -- present only when the config's
+    #: ``instrument`` flag asked for it.  Excluded from
+    #: :meth:`fingerprint` and stripped before the result is cached
+    #: (:meth:`BatchRunner._cache_store`), so instrumentation can never
+    #: leak into a determinism artefact.
+    telemetry: Optional[dict] = None
 
     @classmethod
     def from_experiment(
@@ -285,6 +311,7 @@ class TrialResult:
             scenario_events=list(result.scenario_events),
             num_relinks=result.num_relinks,
             runtime_seconds=runtime_seconds,
+            telemetry=result.telemetry,
         )
 
     # -- convenience accessors ------------------------------------------------
@@ -438,6 +465,14 @@ class BatchRunner:
         ``"process"`` (default), ``"thread"``, or ``"serial"``.  Threads
         exist for debugging (shared tracebacks); the simulator is pure
         Python, so real speed-ups need processes.
+    telemetry:
+        Optional run-telemetry sink (duck-typed to
+        :class:`repro.obs.progress.RunTelemetry`): ``on_start(total,
+        workers=...)`` fires when a sweep is classified, ``on_result(result)``
+        once per input spec (cache hits and deduplicated twins included,
+        rebound like the ``progress`` callback), ``on_failure()`` when a
+        sweep aborts.  Purely observational -- it sees results after they
+        are cached and cannot affect execution.
     """
 
     EXECUTORS = ("process", "thread", "serial")
@@ -447,6 +482,7 @@ class BatchRunner:
         max_workers: Optional[int] = None,
         cache_dir: Optional[os.PathLike] = None,
         executor: str = "process",
+        telemetry=None,
     ):
         if executor not in self.EXECUTORS:
             raise ValueError(
@@ -461,6 +497,7 @@ class BatchRunner:
         self.max_workers = int(max_workers)
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.executor = executor
+        self.telemetry = telemetry
         self.last_stats = BatchStats()
 
     # -- cache ---------------------------------------------------------------
@@ -489,6 +526,11 @@ class BatchRunner:
         path = self._cache_path(result.spec.key)
         if path is None:
             return
+        # Telemetry never forks the cache: the stored payload is identical
+        # whether or not the trial was instrumented, so an instrumented run
+        # warms the cache for uninstrumented re-runs (and vice versa).
+        if result.telemetry is not None:
+            result = dataclasses.replace(result, telemetry=None)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
         with tmp.open("wb") as fh:
@@ -545,6 +587,9 @@ class BatchRunner:
         spec_list = list(specs)
         start = time.perf_counter()
         stats = BatchStats(total=len(spec_list), workers=self.max_workers)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_start(len(spec_list), workers=self.max_workers)
         by_key: Dict[str, TrialResult] = {}
         pending: List[TrialSpec] = []
         # key -> every input spec that asked for it, in input order; the
@@ -552,10 +597,14 @@ class BatchRunner:
         waiters: Dict[str, List[TrialSpec]] = {}
 
         def notify(result: TrialResult) -> None:
-            if progress is None:
+            if progress is None and telemetry is None:
                 return
             for spec in waiters[result.spec.key]:
-                progress(self._rebind(result, spec))
+                rebound = self._rebind(result, spec)
+                if telemetry is not None:
+                    telemetry.on_result(rebound)
+                if progress is not None:
+                    progress(rebound)
 
         def on_result(result: TrialResult) -> None:
             stats.executed += 1
@@ -582,7 +631,12 @@ class BatchRunner:
             for result in by_key.values():
                 notify(result)
 
-            self._execute(pending, on_result)
+            try:
+                self._execute(pending, on_result)
+            except BaseException:
+                if telemetry is not None:
+                    telemetry.on_failure()
+                raise
         finally:
             stats.runtime_seconds = time.perf_counter() - start
             self.last_stats = stats

@@ -67,8 +67,11 @@ from .store import DEFAULT_STORE_NAME, METRIC_COLUMNS, ResultsStore
 
 #: Config fields a sweep axis may range over: every scalar
 #: :class:`ExperimentConfig` field.  ``seed`` is excluded (replication owns
-#: seed derivation) and compound fields (``dirq``, ``scenario``, ...) are
-#: excluded because sweep values must stay canonical-JSON scalars.
+#: seed derivation), compound fields (``dirq``, ``scenario``, ...) are
+#: excluded because sweep values must stay canonical-JSON scalars, and
+#: hash-exempt fields (``instrument``) are excluded because every value of
+#: such an axis hashes to the same cache key -- the "axis" would collapse
+#: onto one trial.
 _SWEEPABLE_FIELDS = frozenset(
     f.name
     for f in dataclasses.fields(ExperimentConfig)
@@ -81,6 +84,7 @@ _SWEEPABLE_FIELDS = frozenset(
     "sensor_types",
     "sensors_per_node",
     "phenomena_specs",
+    "instrument",
 }
 
 _SCALAR_TYPES = (bool, int, float, str)
@@ -707,9 +711,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
         if args.new or args.resume:
+            from ..obs.progress import RunTelemetry
+
+            telemetry = RunTelemetry()
             runner = BatchRunner(
                 max_workers=args.workers,
                 cache_dir=resolve_cache_dir(args.cache_dir),
+                telemetry=telemetry,
             )
             action = "new" if args.new else "resume"
             try:
@@ -727,6 +735,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 return 130
             _print_run_summary(action, stats)
+            print(telemetry.render())
             print()
             _print_status(spec, store)
             _write_exports(args, spec, store)

@@ -107,6 +107,13 @@ class ExperimentConfig:
     trace:
         Enable the structured tracer (tests/examples only; benchmarks keep
         it off).
+    instrument:
+        Observability level (see :mod:`repro.obs`): ``None`` (off),
+        ``"metrics"`` (counters/histograms harvested into the trial's
+        ``telemetry`` payload), or ``"full"`` (metrics + phase profiler +
+        tracer).  **Hash-exempt**: flipping it never changes a
+        ``config_hash``, cache key, or fingerprint -- instrumentation
+        observes a trial, it never defines one.
     """
 
     #: Fields that postdate the original hash scheme: each is omitted from
@@ -123,6 +130,16 @@ class ExperimentConfig:
         "tree_repair",
         "phenomena_method",
     )
+
+    #: Fields *always* excluded from the canonical hash payload, whatever
+    #: their value (contrast HASH_OMIT_WHEN_UNSET, which only elides the
+    #: ``None`` default).  ``instrument`` selects how much the obs layer
+    #: records about a trial; the trial itself is bit-identical either
+    #: way, so instrumented and uninstrumented runs must share cache keys
+    #: and fingerprints.  Each entry needs a matching
+    #: ``ClassName.field`` line in ``repro.experiments.batch.HASH_EXEMPT``
+    #: (reprolint RL210 / RL505 enforce the pairing).
+    HASH_EXCLUDE = ("instrument",)
 
     num_nodes: int = 50
     comm_range: float = 30.0
@@ -163,6 +180,9 @@ class ExperimentConfig:
     #: flags, "lowrank" draws a *different* (approximate) field, so it is
     #: never a silent default.
     phenomena_method: Optional[str] = None
+    #: Observability level: ``None`` (off), "metrics", or "full".  Listed
+    #: in HASH_EXCLUDE above -- never part of hashes or fingerprints.
+    instrument: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -197,6 +217,11 @@ class ExperimentConfig:
             raise ValueError(
                 "phenomena_method must be None, 'exact', or 'lowrank', "
                 f"got {self.phenomena_method!r}"
+            )
+        if self.instrument not in (None, "metrics", "full"):
+            raise ValueError(
+                "instrument must be None, 'metrics', or 'full', "
+                f"got {self.instrument!r}"
             )
 
     # -- convenience constructors ------------------------------------------------

@@ -85,6 +85,10 @@ PROTOCOLS: Dict[str, Callable[[ExperimentConfig], ExperimentConfig]] = {
 
 DEFAULT_PROTOCOLS = tuple(_PROTOCOL_DEFS)
 
+#: Default JSON export path.  Lives under the gitignored ``artifacts/``
+#: directory so ad-hoc grid runs never leave stray files at the repo root.
+DEFAULT_JSON_PATH = "artifacts/grid.json"
+
 #: Grid metrics: every default replicate metric plus the total radio energy
 #: of the run (protocol-agnostic, unlike ``total_dirq_cost``).  This is the
 #: store's metric set by construction -- the campaign store persists
@@ -413,7 +417,8 @@ def _main_from_campaign(args) -> int:
             baseline=baseline if with_baseline else "",
         ),
     }
-    json_path = Path(args.json_path or "grid.json")
+    json_path = Path(args.json_path or DEFAULT_JSON_PATH)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
     json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
     print()
     print(f"JSON export written to {json_path}")
@@ -526,7 +531,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--json",
         dest="json_path",
         default=None,
-        help="JSON export path (default: grid.json)",
+        help=f"JSON export path (default: {DEFAULT_JSON_PATH})",
     )
     parser.add_argument(
         "--markdown",
@@ -645,7 +650,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline=baseline if with_baseline else "",
         ),
     }
-    json_path = Path(args.json_path or "grid.json")
+    json_path = Path(args.json_path or DEFAULT_JSON_PATH)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
     json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
     print()
     print(f"JSON export written to {json_path}")

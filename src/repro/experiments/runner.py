@@ -42,6 +42,7 @@ from ..network.channel import WirelessChannel
 from ..network.node import SensorNode
 from ..network.spanning_tree import SpanningTree, build_bfs_tree
 from ..network.topology import Topology, random_geometric_topology
+from ..obs.instrumentation import build_instrumentation
 from ..scenarios.models import (
     ChurnModel,
     EnergyProfile,
@@ -54,7 +55,6 @@ from ..sensors.sensor import SamplingCounter, Sensor
 from ..sensors.types import DEFAULT_SENSOR_TYPES, default_type_specs
 from ..simulation.engine import Simulator
 from ..simulation.rng import RandomStreams
-from ..simulation.trace import Tracer
 from ..workload.generator import QueryWorkloadGenerator
 from ..workload.ground_truth import evaluate_query
 from ..workload.injection import periodic_schedule
@@ -83,6 +83,10 @@ class ExperimentResult:
     #: mobility re-link rounds; both stay empty/zero for static runs.
     scenario_events: List[tuple] = dataclasses.field(default_factory=list)
     num_relinks: int = 0
+    #: Observability payload (metric snapshots / phase profile / trace
+    #: summary), present only when the config enabled instrumentation or
+    #: tracing.  Never hashed, never fingerprinted, never cached.
+    telemetry: Optional[dict] = None
 
     # -- headline summaries ------------------------------------------------------
 
@@ -163,8 +167,9 @@ class ExperimentRunner:
             return self.world
         cfg = self.config
         world = SimulationWorld()
-        tracer = Tracer(enabled=cfg.trace)
-        world.sim = Simulator(tracer=tracer)
+        instrumentation = build_instrumentation(cfg)
+        world.sim = Simulator(instrumentation=instrumentation)
+        tracer = instrumentation.tracer
 
         # Topology and channel -------------------------------------------------
         world.topology = random_geometric_topology(
@@ -183,6 +188,7 @@ class ExperimentRunner:
             loss_probability=cfg.channel_loss,
             rng=self.streams.get("channel"),
             tracer=tracer,
+            metrics=instrumentation.metrics,
         )
 
         # Dataset and sensors ---------------------------------------------------
@@ -581,9 +587,21 @@ class ExperimentRunner:
         epochs_per_hour = cfg.dirq.epochs_per_hour
         window_epochs = cfg.window_epochs
 
+        # Phase profiling ("full" instrumentation only).  ``begin`` both
+        # opens a phase and closes the previous one, so the loop below
+        # needs no end() calls; the ``profiling`` guard keeps the
+        # uninstrumented hot loop at one bool test per section.
+        phases = sim.instrumentation.phases
+        profiling = phases.enabled
+        begin_phase = phases.begin
+
         for epoch in range(cfg.num_epochs):
+            if profiling:
+                begin_phase("mac")
             run_until(float(epoch))
 
+            if profiling:
+                begin_phase("scenario-hooks")
             topology_changed = False
 
             # Scripted topology dynamics (from the config).
@@ -622,9 +640,13 @@ class ExperimentRunner:
                 and epoch > 0
                 and epoch % scenario.mobility.relink_period == 0
             ):
+                if profiling:
+                    begin_phase("tree-repair")
                 self._apply_relink(world, mobility)
                 num_relinks += 1
                 topology_changed = True
+                if profiling:
+                    begin_phase("scenario-hooks")
 
             # Heterogeneous energy: drain each battery by its node's ledger
             # cost since the last check; depletion kills the node exactly
@@ -665,14 +687,22 @@ class ExperimentRunner:
 
             # Hourly EHr estimate (DirQ only).
             if is_dirq and epoch % epochs_per_hour == 0:
+                if profiling:
+                    begin_phase("protocol-tick")
                 root.start_new_hour(epoch)
 
             # Per-epoch sensing and range maintenance.
+            if profiling:
+                begin_phase("sample")
             for proto in alive_protocols:
                 proto.on_epoch(epoch)
+            if profiling:
+                begin_phase("channel")
             run_until(epoch + 0.5)
 
             # Query injections scheduled for this epoch.
+            if profiling:
+                begin_phase("protocol-tick")
             for _ in range(injections.get(epoch, 0)):
                 target_coverage = (
                     traffic.coverage_at(epoch, cfg.num_epochs, cfg.target_coverage)
@@ -701,7 +731,11 @@ class ExperimentRunner:
                 cost_kind = QUERY_KIND if is_dirq else "flood"
                 before = world.ledger.total_cost([cost_kind])
                 root.inject_query(query)
+                if profiling:
+                    begin_phase("channel")
                 run_until(epoch + 0.95)
+                if profiling:
+                    begin_phase("protocol-tick")
                 after = world.ledger.total_cost([cost_kind])
                 per_query_costs.append(after - before)
                 if is_dirq:
@@ -724,7 +758,30 @@ class ExperimentRunner:
             if (epoch + 1) % window_epochs == 0:
                 recorder.on_window_end(epoch + 1 - window_epochs)
 
+        if profiling:
+            begin_phase("channel")
         sim.run_until(float(cfg.num_epochs))
+        if profiling:
+            phases.end()
+
+        instrumentation = sim.instrumentation
+        telemetry: Optional[dict] = None
+        if instrumentation.enabled:
+            if instrumentation.metrics.enabled:
+                self._harvest_metrics(
+                    world,
+                    num_epochs=cfg.num_epochs,
+                    num_relinks=num_relinks,
+                    num_scenario_events=len(applied_events),
+                    num_queries=num_queries,
+                )
+            telemetry = {}
+            if instrumentation.metrics.enabled:
+                telemetry["metrics"] = instrumentation.metrics.snapshot()
+            if instrumentation.phases.enabled:
+                telemetry["phases"] = instrumentation.phases.snapshot()
+            if instrumentation.tracer.enabled:
+                telemetry["trace"] = instrumentation.tracer.summary()
 
         return ExperimentResult(
             config=cfg,
@@ -741,7 +798,64 @@ class ExperimentRunner:
             num_nodes=cfg.num_nodes,
             scenario_events=applied_events,
             num_relinks=num_relinks,
+            telemetry=telemetry,
         )
+
+    def _harvest_metrics(
+        self,
+        world: SimulationWorld,
+        num_epochs: int,
+        num_relinks: int,
+        num_scenario_events: int,
+        num_queries: int,
+    ) -> None:
+        """Fold every component's plain counters into the metrics registry.
+
+        The components themselves never touch the registry: they keep
+        unconditional int counters (cheaper than any enabled-check in
+        their hot paths) which this harvest reads once per trial.  Node
+        iteration is sorted so snapshots are order-stable regardless of
+        dict insertion history.
+        """
+        metrics = world.sim.instrumentation.metrics
+        sim = world.sim
+        metrics.inc("engine.events_executed", sim.executed)
+        metrics.inc("engine.events_cancelled", sim.cancelled_total)
+        metrics.inc("engine.compactions", sim.compactions)
+        stats = world.channel.stats
+        metrics.inc("channel.broadcasts", stats.broadcasts)
+        metrics.inc("channel.unicasts", stats.unicasts)
+        metrics.inc("channel.deliveries", stats.deliveries)
+        metrics.inc("channel.drops_loss", stats.drops_loss)
+        metrics.inc("channel.drops_dead_node", stats.drops_dead_node)
+        metrics.inc("channel.drops_no_link", stats.drops_no_link)
+        for nid in sorted(world.macs):
+            mac = world.macs[nid]
+            metrics.inc("mac.beacons_sent", mac.beacons_sent)
+            metrics.inc("mac.slot_conflicts", mac.slot_conflicts)
+            metrics.inc("mac.slot_elections", mac.slot_elections)
+            metrics.observe(
+                "mac.slots_occupied", mac.schedule.occupancy_stats()["first_hop"]
+            )
+        for nid in sorted(world.protocols):
+            proto = world.protocols[nid]
+            tables = getattr(proto, "tables", None)
+            if tables is not None:
+                metrics.observe("dirq.table_entries", tables.total_entries())
+            # Unrolled rather than looped over (attr, name) pairs: RL501
+            # requires metric names to be string literals at the call site.
+            if getattr(proto, "updates_sent", 0):
+                metrics.inc("dirq.updates_sent", proto.updates_sent)
+            if getattr(proto, "updates_suppressed", 0):
+                metrics.inc("dirq.updates_suppressed", proto.updates_suppressed)
+            if getattr(proto, "queries_received", 0):
+                metrics.inc("dirq.queries_received", proto.queries_received)
+            if getattr(proto, "queries_forwarded", 0):
+                metrics.inc("dirq.queries_forwarded", proto.queries_forwarded)
+        metrics.inc("runner.epochs", num_epochs)
+        metrics.inc("runner.relinks", num_relinks)
+        metrics.inc("runner.scenario_events", num_scenario_events)
+        metrics.inc("runner.queries_injected", num_queries)
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:

@@ -108,6 +108,11 @@ class LMACProtocol(SimProcess):
             raise ValueError("death_threshold must be >= 1")
         self._upper_handler: Optional[UpperLayerHandler] = None
         self._sequence = 0
+        # Plain int counters harvested into obs metrics at trial end --
+        # unconditional increments cost less than any enabled-check here.
+        self.beacons_sent = 0
+        self.slot_conflicts = 0
+        self.slot_elections = 0
         self._last_sequence_seen: dict[NodeId, int] = {}
         self._beacons_since_heard: dict[NodeId, int] = {}
         self._mac_access_delay = 1e-4
@@ -205,6 +210,7 @@ class LMACProtocol(SimProcess):
 
     def _emit_beacon(self) -> None:
         self._sequence += 1
+        self.beacons_sent += 1
         frame = MACFrame(
             source=self.node_id,
             destination=BROADCAST,
@@ -294,6 +300,7 @@ class LMACProtocol(SimProcess):
             return
         if control.slot == self.schedule.own_slot and sender != self.node_id:
             if self.node_id > sender:
+                self.slot_conflicts += 1
                 self.sim.tracer.record(
                     self.now,
                     "lmac.slot_conflict",
@@ -312,6 +319,7 @@ class LMACProtocol(SimProcess):
             # conflicts will be resolved by the lower-id-wins rule.
             free = list(range(self.schedule.slots_per_frame))
         choice = int(free[int(self.rng.integers(0, len(free)))])
+        self.slot_elections += 1
         self.schedule.claim(choice)
         self.sim.tracer.record(
             self.now, "lmac.slot_elected", self.node_id, slot=choice

@@ -139,6 +139,20 @@ class SlotSchedule:
             return None
         return self._first_hop.get(self.own_slot)
 
+    def occupancy_stats(self) -> Dict[str, int]:
+        """Slot-occupancy summary for end-of-trial metrics harvesting.
+
+        Counts, not references: the dict is a snapshot, safe to aggregate
+        across nodes without aliasing schedule internals.
+        """
+        first_hop = len(self.occupied_first_hop())
+        anywhere = len(self.occupied_anywhere())
+        return {
+            "first_hop": first_hop,
+            "two_hop": anywhere,
+            "free": self.slots_per_frame - anywhere,
+        }
+
     def _check_slot(self, slot: int) -> None:
         if not (0 <= slot < self.slots_per_frame):
             raise ValueError(

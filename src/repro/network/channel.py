@@ -42,6 +42,7 @@ import numpy as np
 
 from ..energy.ledger import NetworkLedger
 from ..energy.model import DEFAULT_ENERGY_MODEL, EnergyCostModel
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..simulation.engine import Simulator
 from ..simulation.events import EventPriority
 from ..simulation.trace import NULL_TRACER, Tracer
@@ -100,6 +101,12 @@ class WirelessChannel:
         delivery event.  ``False`` selects the reference formulation -- one
         event per receiver -- kept for A/B determinism tests: both paths
         must produce bit-identical experiment results.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  The only
+        live observation is the per-broadcast fan-out histogram (guarded
+        by ``metrics.enabled``, like the tracer); the counter metrics are
+        harvested from :class:`ChannelStats` at trial end, so disabled
+        metrics cost nothing per transmission.
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class WirelessChannel:
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
         batched_delivery: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not (0.0 <= loss_probability <= 1.0):
             raise ValueError("loss_probability must be in [0, 1]")
@@ -138,6 +146,7 @@ class WirelessChannel:
         self.propagation_delay = float(propagation_delay)
         self.rng = rng
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.batched_delivery = bool(batched_delivery)
         self.stats = ChannelStats()
         self._receivers: Dict[NodeId, ReceiveCallback] = {}
@@ -295,6 +304,8 @@ class WirelessChannel:
         if dest == BROADCAST:
             targets = [n for n in self.graph.neighbors(sender) if alive.get(n)]
             self.stats.broadcasts += 1
+            if self.metrics.enabled:
+                self.metrics.observe("channel.fanout", len(targets))
         else:
             if not self.graph.has_edge(sender, dest):
                 self.stats.drops_no_link += 1

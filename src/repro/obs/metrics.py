@@ -1,0 +1,151 @@
+"""Named counters, gauges, and histograms with a zero-overhead off switch.
+
+Design constraints, in priority order:
+
+1. **Determinism.**  A metric snapshot is a pure function of the
+   simulated work: no wall-clock reads, no object ids, no dict-order
+   dependence (snapshots sort every key).  Snapshots live only in the
+   hash-exempt ``telemetry`` payload, so they can never perturb a
+   fingerprint -- but they must still be bit-identical across worker
+   counts so telemetry itself is comparable between runs.
+2. **Zero overhead when off.**  The hot loops never call into this
+   module per event.  Components keep plain integer counters that the
+   runner *harvests* once per trial (:meth:`MetricsRegistry.inc` with the
+   final count); the few genuinely per-event observations (channel
+   fan-out) are guarded by ``if metrics.enabled:`` exactly like the
+   existing ``tracer.enabled`` idiom.
+3. **Catalogue discipline.**  When enabled, every name is validated
+   against :data:`~repro.obs.catalogue.METRIC_CATALOGUE`; a typo'd name
+   raises instead of silently accumulating a parallel series.  The
+   disabled registry skips validation -- the null path does no work.
+
+Histogram buckets are fixed powers of two so bucket boundaries never
+depend on the data (equal work -> equal snapshot, always).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .catalogue import METRIC_CATALOGUE
+
+#: Upper bucket bounds of every histogram (value <= bound).  Fixed and
+#: data-independent so snapshots from different runs are comparable;
+#: values above the last bound land in the "inf" overflow bucket.
+HISTOGRAM_BOUNDS: tuple = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+class _Histogram:
+    """Fixed-bucket histogram: count/total/min/max + per-bucket counts."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: List[int] = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(HISTOGRAM_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        labels = [str(b) for b in HISTOGRAM_BOUNDS] + ["inf"]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                label: n
+                for label, n in zip(labels, self.buckets)
+                if n  # empty buckets are noise in exports
+            },
+        }
+
+
+class MetricsRegistry:
+    """A registry of named counters, gauges, and histograms.
+
+    ``enabled=False`` (the :data:`NULL_METRICS` default) turns every
+    method into an immediate no-op; components share the ``if
+    metrics.enabled:`` guard idiom with the tracer so the disabled path
+    costs one attribute read at most -- and the hot loops avoid even
+    that by keeping plain int counters harvested at trial end.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    @staticmethod
+    def _validate(name: str) -> None:
+        if name not in METRIC_CATALOGUE:
+            raise ValueError(
+                f"metric {name!r} is not registered in METRIC_CATALOGUE "
+                "(repro.obs.catalogue); register it so reprolint RL502 "
+                "and the docs catalogue stay truthful"
+            )
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        self._validate(name)
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        self._validate(name)
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        if not self.enabled:
+            return
+        self._validate(name)
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram()
+        hist.observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The registry as a deterministic, JSON-ready dict.
+
+        Keys are sorted at every level, so two registries fed the same
+        observations in any order produce byte-identical JSON.
+        """
+        return {
+            "counters": {
+                name: self._counters[name] for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name] for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+#: The shared disabled registry: every method is a no-op.  Do not
+#: mutate -- it is process-global, like ``NULL_TRACER``.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -1,0 +1,152 @@
+"""Phase profiling of the epoch tick with injectable monotonic time.
+
+The experiment runner's epoch loop decomposes into the named phases of
+:data:`repro.obs.catalogue.PHASES` (mac drain, scenario hooks, tree
+repair, sensor sampling, channel drain, protocol tick).  A
+:class:`PhaseTimer` accumulates wall time per phase and optionally keeps
+bounded per-interval spans for Chrome trace-event export
+(:mod:`repro.obs.trace_export`).
+
+Time comes from an injectable ``now`` callable defaulting to
+:func:`repro.utils.clock.mono_now` -- the sanctioned monotonic accessor
+-- so tests drive the timer with a scripted clock and measured durations
+stay out of anything hashed (phase tables live in the hash-exempt
+``telemetry`` payload only; the deterministic exports keep call *counts*
+and drop durations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..utils.clock import mono_now
+from .catalogue import PHASES
+
+#: Per-trial span budget.  A 20 000-epoch trial ticking six phases would
+#: otherwise retain 120 000 spans; past the budget the timer keeps
+#: accumulating totals and counts but stops recording spans (counted in
+#: ``dropped_spans``), mirroring the tracer ring-buffer contract.
+DEFAULT_MAX_SPANS = 20_000
+
+
+class PhaseTimer:
+    """Accumulates named-phase durations; ``enabled=False`` is a no-op.
+
+    Usage is a flat ``begin(name)`` / ``end()`` pair per phase interval
+    (no nesting -- the epoch tick is a straight-line sequence).  A
+    ``begin`` while a phase is open implicitly ends the open phase, so
+    the runner can instrument a loop with early ``continue`` paths
+    without try/finally scaffolding.
+    """
+
+    __slots__ = (
+        "enabled",
+        "_now",
+        "_max_spans",
+        "_origin",
+        "_open_phase",
+        "_open_at",
+        "totals",
+        "counts",
+        "spans",
+        "dropped_spans",
+    )
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        now: Callable[[], float] = mono_now,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self.enabled = enabled
+        self._now = now
+        self._max_spans = max_spans
+        self._origin: Optional[float] = None
+        self._open_phase: Optional[str] = None
+        self._open_at = 0.0
+        #: phase -> accumulated seconds
+        self.totals: Dict[str, float] = {}
+        #: phase -> number of begin/end intervals
+        self.counts: Dict[str, int] = {}
+        #: (phase, start-seconds-since-first-begin, duration-seconds)
+        self.spans: List[Tuple[str, float, float]] = []
+        self.dropped_spans = 0
+
+    def begin(self, phase: str) -> None:
+        """Open ``phase``, implicitly ending any phase still open."""
+        if not self.enabled:
+            return
+        if phase not in PHASES:
+            raise ValueError(
+                f"phase {phase!r} is not in the PHASES taxonomy "
+                "(repro.obs.catalogue)"
+            )
+        now = self._now()
+        if self._open_phase is not None:
+            self._close(now)
+        if self._origin is None:
+            self._origin = now
+        self._open_phase = phase
+        self._open_at = now
+
+    def end(self) -> None:
+        """End the open phase (no-op when none is open)."""
+        if not self.enabled or self._open_phase is None:
+            return
+        self._close(self._now())
+
+    def _close(self, now: float) -> None:
+        phase = self._open_phase
+        assert phase is not None
+        duration = now - self._open_at
+        self.totals[phase] = self.totals.get(phase, 0.0) + duration
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+        if len(self.spans) < self._max_spans:
+            assert self._origin is not None
+            self.spans.append((phase, self._open_at - self._origin, duration))
+        else:
+            self.dropped_spans += 1
+        self._open_phase = None
+
+    def table(self) -> List[Tuple[str, int, float, float, float]]:
+        """Rows of ``(phase, calls, total_s, mean_ms, share)``.
+
+        Ordered by the PHASES taxonomy (not by magnitude) so tables from
+        different trials line up row-for-row.
+        """
+        grand = sum(self.totals.values())
+        rows = []
+        for phase in PHASES:
+            if phase not in self.counts:
+                continue
+            total = self.totals[phase]
+            calls = self.counts[phase]
+            rows.append(
+                (
+                    phase,
+                    calls,
+                    total,
+                    1000.0 * total / calls,
+                    total / grand if grand else 0.0,
+                )
+            )
+        return rows
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary: totals + counts + span accounting.
+
+        ``counts`` is deterministic (a pure function of the simulated
+        work); ``totals`` is measured wall time and therefore only
+        belongs in the hash-exempt telemetry payload.
+        """
+        return {
+            "totals": {p: self.totals[p] for p in sorted(self.totals)},
+            "counts": {p: self.counts[p] for p in sorted(self.counts)},
+            "spans": len(self.spans),
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+#: The shared disabled timer.  Do not mutate -- process-global, like
+#: ``NULL_TRACER`` / ``NULL_METRICS``.
+NULL_PHASES = PhaseTimer(enabled=False)

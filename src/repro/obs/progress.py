@@ -1,0 +1,124 @@
+"""Structured run telemetry for batch and campaign executions.
+
+:class:`RunTelemetry` turns the :class:`~repro.experiments.batch.
+BatchRunner` per-trial callback stream into operational numbers: trials
+done / executed / cache-served / failed, throughput, worker utilisation,
+and an ETA.  It is the "is this campaign healthy?" instrument -- the
+numbers are *wall-clock derived and therefore never hashed or exported
+deterministically*; deterministic campaign state lives in the
+:class:`~repro.experiments.store.ResultsStore`.
+
+Time comes from an injectable monotonic ``now`` callable
+(:func:`repro.utils.clock.mono_now` by default) so snapshots are
+testable with a scripted clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..utils.clock import mono_now
+
+
+class RunTelemetry:
+    """Accumulates per-trial completion events into progress snapshots."""
+
+    __slots__ = (
+        "_now",
+        "_started_at",
+        "total",
+        "workers",
+        "done",
+        "executed",
+        "cached",
+        "failed",
+        "busy_seconds",
+    )
+
+    def __init__(
+        self,
+        total: int = 0,
+        workers: int = 1,
+        now: Callable[[], float] = mono_now,
+    ) -> None:
+        self._now = now
+        self._started_at: Optional[float] = None
+        self.total = int(total)
+        self.workers = max(int(workers), 1)
+        self.done = 0
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        #: summed per-trial runtime of executed trials -- the numerator
+        #: of worker utilisation.
+        self.busy_seconds = 0.0
+
+    def on_start(self, total: int, workers: int = 1) -> None:
+        """Begin (or re-begin, on resume) a run of ``total`` trials."""
+        self.total = int(total)
+        self.workers = max(int(workers), 1)
+        self._started_at = self._now()
+
+    def on_result(self, result) -> None:
+        """Record one finished trial (a ``TrialResult``-shaped object)."""
+        if self._started_at is None:
+            self._started_at = self._now()
+        self.done += 1
+        if getattr(result, "from_cache", False):
+            self.cached += 1
+        else:
+            self.executed += 1
+            self.busy_seconds += float(
+                getattr(result, "runtime_seconds", 0.0)
+            )
+
+    def on_failure(self) -> None:
+        """Record an aborted/failed execution.
+
+        Deliberately does *not* bump ``done``: ``done`` counts completed
+        trials only, so it always equals the rows a campaign's
+        :class:`~repro.experiments.store.ResultsStore` holds -- an
+        interrupt or a crashed trial never inflates the progress count.
+        """
+        if self._started_at is None:
+            self._started_at = self._now()
+        self.failed += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """The current progress numbers as a JSON-ready dict."""
+        elapsed = (
+            self._now() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = max(self.total - self.done, 0)
+        return {
+            "total": self.total,
+            "done": self.done,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "elapsed_s": elapsed,
+            "trials_per_s": rate,
+            "eta_s": remaining / rate if rate > 0 else None,
+            "utilisation": (
+                self.busy_seconds / (elapsed * self.workers)
+                if elapsed > 0
+                else 0.0
+            ),
+        }
+
+    def render(self) -> str:
+        """One status line, e.g. for periodic progress printing."""
+        snap = self.snapshot()
+        eta = (
+            f"{snap['eta_s']:.0f}s" if snap["eta_s"] is not None else "?"
+        )
+        return (
+            f"{snap['done']}/{snap['total']} trials "
+            f"(executed {snap['executed']}, cached {snap['cached']}, "
+            f"failed {snap['failed']}) "
+            f"{snap['trials_per_s']:.2f}/s, eta {eta}, "
+            f"util {100.0 * snap['utilisation']:.0f}%"
+        )

@@ -1,0 +1,153 @@
+"""Export paths for tracer records and phase spans.
+
+Two formats, one code path:
+
+* **JSONL** -- one JSON object per :class:`TraceRecord`, sorted keys, in
+  record order.  Deterministic: byte-identical for byte-identical
+  simulations.
+* **Chrome trace-event JSON** -- the ``{"traceEvents": [...]}`` format
+  consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+  Phase spans render as complete (``"ph": "X"``) events on the profiler
+  track; tracer records render as instant (``"ph": "i"``) events on a
+  separate simulated-time track, one thread lane per node.
+
+The two tracks deliberately use different ``pid`` values: phase spans are
+measured *host* time (microseconds since the trial started), tracer
+records are *simulated* time (simulated seconds scaled to microseconds).
+Perfetto shows them as two processes so the unrelated clocks never get
+visually conflated.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..simulation.trace import Tracer
+from .phases import PhaseTimer
+
+#: ``pid`` of the host-time phase-profile track.
+PHASE_PID = 1
+#: ``pid`` of the simulated-time tracer-record track.
+TRACE_PID = 2
+
+_REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+def tracer_to_jsonl(tracer: Tracer) -> str:
+    """Retained tracer records as JSON-lines (one record per line)."""
+    lines = []
+    for rec in tracer.records:
+        lines.append(
+            json.dumps(
+                {
+                    "time": rec.time,
+                    "category": rec.category,
+                    "node": rec.node,
+                    "detail": rec.detail,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(
+    phases: Optional[PhaseTimer] = None,
+    tracer: Optional[Tracer] = None,
+    label: str = "trial",
+) -> Dict[str, object]:
+    """Phase spans + tracer records as a Chrome trace-event payload."""
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": PHASE_PID,
+            "tid": 0,
+            "args": {"name": f"{label}: epoch phases (host time)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": f"{label}: trace records (simulated time)"},
+        },
+    ]
+    if phases is not None:
+        for name, start, duration in phases.spans:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": int(start * 1e6),
+                    "dur": max(int(duration * 1e6), 1),
+                    "pid": PHASE_PID,
+                    "tid": 1,
+                }
+            )
+    if tracer is not None:
+        for rec in tracer.records:
+            events.append(
+                {
+                    "name": rec.category,
+                    "cat": rec.category.split(".", 1)[0],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": int(rec.time * 1e6),
+                    "pid": TRACE_PID,
+                    "tid": rec.node if rec.node is not None else 0,
+                    "args": {str(k): rec.detail[k] for k in sorted(rec.detail)},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is loadable trace JSON.
+
+    Checks the envelope and the per-event schema Perfetto's importer
+    requires: every event carries name/ph/ts/pid/tid, complete events
+    carry a non-negative ``dur``, and timestamps are integers.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace payload must be a dict with 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        missing = _REQUIRED_EVENT_KEYS - set(event)
+        if missing:
+            raise ValueError(f"event {i} missing keys: {sorted(missing)}")
+        if not isinstance(event["ts"], int):
+            raise ValueError(f"event {i} 'ts' must be an integer microsecond")
+        if event["ph"] == "X":
+            if not isinstance(event.get("dur"), int) or event["dur"] < 0:
+                raise ValueError(f"event {i} complete span needs int 'dur'>=0")
+
+
+def write_chrome_trace(path, payload: Dict[str, object]) -> Path:
+    """Validate ``payload`` and write it to ``path`` (parents created)."""
+    validate_chrome_trace(payload)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+def write_jsonl(path, tracer: Tracer) -> Path:
+    """Write the tracer's retained records to ``path`` as JSONL."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(tracer_to_jsonl(tracer), encoding="utf-8")
+    return out

@@ -18,6 +18,7 @@ bit-identical table and JSON export at any worker count
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -136,6 +137,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="exit non-zero unless the sweep executed zero trials (CI check)",
     )
+    parser.add_argument(
+        "--instrument",
+        default=None,
+        choices=("metrics", "full"),
+        help=(
+            "run instrumented (see docs/observability.md); hash-exempt, so "
+            "instrumented and plain runs share cache entries and exports"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -164,6 +174,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    if args.instrument:
+        specs = [
+            dataclasses.replace(
+                spec, config=spec.config.replace(instrument=args.instrument)
+            )
+            for spec in specs
+        ]
 
     runner = BatchRunner(max_workers=args.workers, cache_dir=cache_dir)
     groups = runner.run_replicated(

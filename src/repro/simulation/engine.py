@@ -49,7 +49,7 @@ from typing import Any, Callable, Optional
 
 from .clock import SimClock
 from .events import Event, EventHandle, EventPriority
-from .trace import NULL_TRACER, Tracer
+from .trace import Tracer
 
 
 class SimulationError(RuntimeError):
@@ -65,7 +65,12 @@ class Simulator:
         Initial simulated time (defaults to 0.0).
     tracer:
         Optional :class:`~repro.simulation.trace.Tracer`; when omitted a
-        disabled tracer is used.
+        disabled tracer is used.  Kept as a convenience for callers that
+        only trace -- internally it is wrapped into ``instrumentation``.
+    instrumentation:
+        Optional :class:`~repro.obs.instrumentation.Instrumentation`
+        bundling tracer + metrics + phase timer behind one handle.  Takes
+        precedence over ``tracer`` when both are given.
 
     Examples
     --------
@@ -85,9 +90,26 @@ class Simulator:
     #: ``queue_size < 2 * pending + COMPACT_MIN_CANCELLED``.
     COMPACT_MIN_CANCELLED = 64
 
-    def __init__(self, start_time: float = 0.0, tracer: Optional[Tracer] = None):
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        instrumentation=None,
+    ):
         self.clock = SimClock(start_time)
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Imported lazily: repro.simulation/__init__ eagerly imports this
+        # module, and repro.obs.instrumentation imports simulation.trace,
+        # so a module-level import here would cycle during package init.
+        from ..obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
+
+        if instrumentation is None:
+            instrumentation = (
+                Instrumentation(tracer=tracer)
+                if tracer is not None
+                else NULL_INSTRUMENTATION
+            )
+        self.instrumentation = instrumentation
+        self.tracer = instrumentation.tracer
         self._heap: list = []
         self._seq = 0
         self._executed = 0
@@ -95,6 +117,10 @@ class Simulator:
         self._stop_requested = False
         #: Cancelled events still sitting in the heap.
         self._cancelled_in_heap = 0
+        #: Lifetime totals harvested into metrics at trial end: the hot
+        #: loop pays one int increment, never a registry call.
+        self._cancelled_total = 0
+        self._compactions = 0
         #: Lower bound on the next pending event time (exact when the head
         #: entry is live; conservative -- never *above* the true head --
         #: when the head was cancelled).  ``None`` iff the heap is empty.
@@ -126,6 +152,16 @@ class Simulator:
     def executed(self) -> int:
         """Total number of events executed so far."""
         return self._executed
+
+    @property
+    def cancelled_total(self) -> int:
+        """Events ever cancelled (lifetime count, survives compaction)."""
+        return self._cancelled_total
+
+    @property
+    def compactions(self) -> int:
+        """Heap compaction passes performed so far."""
+        return self._compactions
 
     def peek_time(self) -> Optional[float]:
         """Simulated time of the next pending event, or ``None`` if empty."""
@@ -269,6 +305,7 @@ class Simulator:
         in-place compaction once cancelled entries dominate the queue.
         """
         self._cancelled_in_heap += 1
+        self._cancelled_total += 1
         cancelled = self._cancelled_in_heap
         if (
             cancelled >= self.COMPACT_MIN_CANCELLED
@@ -282,6 +319,7 @@ class Simulator:
         heap[:] = [entry for entry in heap if not entry[3].cancelled]
         heapq.heapify(heap)
         self._cancelled_in_heap = 0
+        self._compactions += 1
         self._head_time = heap[0][0] if heap else None
 
     def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> int:

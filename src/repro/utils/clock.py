@@ -22,3 +22,16 @@ def wall_now() -> float:
     The single place in ``src/repro`` allowed to read the host clock.
     """
     return time.time()
+
+
+def mono_now() -> float:
+    """Monotonic host time in seconds, for measuring durations.
+
+    The sanctioned accessor behind profiling code (``repro.obs.phases``,
+    run-telemetry throughput/ETA).  Profilers accept an injectable
+    ``now`` callable defaulting to this function, so phase tables and
+    progress snapshots are testable with a scripted clock -- and so no
+    measured duration ever reaches a result fingerprint (the obs layer
+    keeps timings in the hash-exempt ``telemetry`` payload only).
+    """
+    return time.perf_counter()

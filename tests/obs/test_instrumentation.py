@@ -1,0 +1,149 @@
+"""The observability invariant: instruments never perturb results.
+
+Turning metrics, phase profiling, or tracing on must leave every
+``config_hash``, cache key, and ``TrialResult`` fingerprint byte-identical
+to the uninstrumented run -- and the telemetry payload itself must be
+deterministic across worker counts.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.batch import (
+    HASH_EXEMPT,
+    BatchRunner,
+    TrialSpec,
+    config_hash,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.obs.instrumentation import (
+    NULL_INSTRUMENTATION,
+    build_instrumentation,
+)
+from repro.scenarios.registry import build_config
+from repro.scenarios.static import smoke_sweep
+
+
+def instrumented(spec: TrialSpec, instrument) -> TrialSpec:
+    return dataclasses.replace(
+        spec, config=spec.config.replace(instrument=instrument)
+    )
+
+
+class TestBuildInstrumentation:
+    def test_default_is_the_shared_null_handle(self):
+        cfg = ExperimentConfig()
+        assert build_instrumentation(cfg) is NULL_INSTRUMENTATION
+
+    def test_metrics_mode(self):
+        inst = build_instrumentation(ExperimentConfig(instrument="metrics"))
+        assert inst.metrics.enabled
+        assert not inst.phases.enabled
+        assert not inst.tracer.enabled
+
+    def test_full_mode(self):
+        inst = build_instrumentation(ExperimentConfig(instrument="full"))
+        assert inst.metrics.enabled
+        assert inst.phases.enabled
+        assert inst.tracer.enabled
+
+    def test_trace_flag_alone_keeps_seed_semantics(self):
+        inst = build_instrumentation(ExperimentConfig(trace=True))
+        assert inst.tracer.enabled
+        assert not inst.metrics.enabled
+        assert not inst.phases.enabled
+
+    def test_config_rejects_unknown_instrument(self):
+        with pytest.raises(ValueError, match="instrument"):
+            ExperimentConfig(instrument="verbose")
+
+
+class TestHashExemption:
+    def test_instrument_never_changes_config_hash(self):
+        base = ExperimentConfig()
+        for mode in ("metrics", "full"):
+            assert config_hash(base.replace(instrument=mode)) == config_hash(
+                base
+            )
+
+    def test_exclusion_is_declared_in_hash_exempt(self):
+        assert "instrument" in ExperimentConfig.HASH_EXCLUDE
+        assert "ExperimentConfig.instrument" in HASH_EXEMPT
+
+
+@pytest.mark.parametrize(
+    "scenario,num_epochs",
+    [("harsh-mixed", 40), ("scale-500", 15)],
+    ids=["harsh-mixed", "scale-500"],
+)
+def test_full_instrumentation_keeps_fingerprints_bit_identical(
+    scenario, num_epochs
+):
+    """The tentpole A/B: instrument=None vs "full" on real scenarios."""
+    cfg = build_config(scenario, num_epochs=num_epochs, seed=1)
+    plain = TrialSpec(label=scenario, config=cfg)
+    full = instrumented(plain, "full")
+    assert plain.key == full.key  # shared cache identity
+
+    runner = BatchRunner(max_workers=1, executor="serial", cache_dir=None)
+    r_plain = runner.run([plain])[0]
+    r_full = runner.run([full])[0]
+    assert r_plain.fingerprint() == r_full.fingerprint()
+    assert r_plain.telemetry is None
+    assert r_full.telemetry is not None
+    assert set(r_full.telemetry) == {"metrics", "phases", "trace"}
+    # Telemetry carries real signal, not empty shells.
+    assert r_full.telemetry["metrics"]["counters"]["runner.epochs"] == (
+        num_epochs
+    )
+
+
+class TestTelemetryNeverForksTheCache:
+    def test_cached_result_is_telemetry_free_both_directions(self, tmp_path):
+        spec = smoke_sweep(num_nodes=10, num_epochs=40)[0]
+        runner = BatchRunner(
+            max_workers=1, executor="serial", cache_dir=tmp_path
+        )
+        first = runner.run([instrumented(spec, "full")])[0]
+        assert not first.from_cache
+        assert first.telemetry is not None
+
+        # An uninstrumented request hits the instrumented run's entry...
+        plain = runner.run([spec])[0]
+        assert plain.from_cache
+        assert plain.telemetry is None
+        # ...and an instrumented request is served from cache too (the
+        # stored pickle was stripped, so no telemetry comes back).
+        again = runner.run([instrumented(spec, "full")])[0]
+        assert again.from_cache
+        assert again.telemetry is None
+        assert first.fingerprint() == plain.fingerprint()
+        assert first.fingerprint() == again.fingerprint()
+
+
+class TestWorkerCountDeterminism:
+    def test_metrics_snapshots_identical_at_1_and_4_workers(self):
+        specs = [
+            instrumented(s, "metrics")
+            for s in smoke_sweep(num_nodes=10, num_epochs=40)
+        ]
+
+        def run(workers):
+            executor = "serial" if workers == 1 else "thread"
+            runner = BatchRunner(
+                max_workers=workers, executor=executor, cache_dir=None
+            )
+            results = runner.run(specs)
+            return {
+                r.spec.label: {
+                    "fingerprint": r.fingerprint(),
+                    "metrics": r.telemetry["metrics"],
+                }
+                for r in results
+            }
+
+        serial = json.dumps(run(1), sort_keys=True)
+        threaded = json.dumps(run(4), sort_keys=True)
+        assert serial == threaded

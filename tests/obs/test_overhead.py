@@ -1,0 +1,71 @@
+"""The performance half of the observability contract: metrics cost ~0.
+
+The design keeps metric accounting *out* of the hot loops -- components
+carry plain int counters harvested once per trial -- so running with the
+metrics registry enabled must stay within 2% of the uninstrumented
+engine smoke-bench workload (the same chained-event chain
+``benchmarks.bench_engine`` times).
+
+Wall-clock assertions flake on loaded shared runners, so the comparison
+is interleaved (alternating arms so thermal/load drift hits both
+equally), uses the min over repeats (the noise-free floor), and retries
+the whole measurement before failing.
+"""
+
+import time
+
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.simulation.engine import Simulator
+
+#: The acceptance bound from the issue: metrics on costs < 2%.
+MAX_OVERHEAD = 0.02
+
+NUM_EVENTS = 30_000
+REPEATS = 5
+ATTEMPTS = 3
+
+
+def chained_events(instrumentation) -> float:
+    """The engine smoke-bench workload, returning its wall seconds."""
+    sim = Simulator(instrumentation=instrumentation)
+    count = 0
+
+    def tick() -> None:
+        nonlocal count
+        count += 1
+        if count < NUM_EVENTS:
+            sim.schedule_after(0.001, tick)
+
+    start = time.perf_counter()
+    sim.schedule_at(0.0, tick)
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert count == NUM_EVENTS
+    return elapsed
+
+
+def measure_overhead() -> float:
+    """min-of-N metrics-on over metrics-off runtime, minus one."""
+    on = Instrumentation(metrics=MetricsRegistry(enabled=True))
+    chained_events(None)  # warm-up both code paths
+    chained_events(on)
+    best_off = float("inf")
+    best_on = float("inf")
+    for _ in range(REPEATS):
+        best_off = min(best_off, chained_events(None))
+        best_on = min(best_on, chained_events(on))
+    return best_on / best_off - 1.0
+
+
+def test_metrics_enabled_engine_overhead_below_two_percent():
+    overheads = []
+    for _ in range(ATTEMPTS):
+        overhead = measure_overhead()
+        overheads.append(overhead)
+        if overhead < MAX_OVERHEAD:
+            return
+    raise AssertionError(
+        f"metrics-enabled engine overhead exceeded {MAX_OVERHEAD:.0%} in "
+        f"{ATTEMPTS} attempts: {[f'{o:.2%}' for o in overheads]}"
+    )

@@ -1,0 +1,85 @@
+"""PhaseTimer unit tests, driven by a scripted monotonic clock."""
+
+import pytest
+
+from repro.obs.catalogue import PHASES
+from repro.obs.phases import NULL_PHASES, PhaseTimer
+
+
+def scripted_clock(*times):
+    """A ``now`` callable returning the given instants in sequence."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestPhaseTimer:
+    def test_begin_end_accumulates(self):
+        timer = PhaseTimer(now=scripted_clock(10.0, 12.5))
+        timer.begin("mac")
+        timer.end()
+        assert timer.totals == {"mac": 2.5}
+        assert timer.counts == {"mac": 1}
+        assert timer.spans == [("mac", 0.0, 2.5)]
+
+    def test_begin_implicitly_closes_open_phase(self):
+        timer = PhaseTimer(now=scripted_clock(0.0, 1.0, 4.0))
+        timer.begin("mac")
+        timer.begin("sample")  # closes mac at t=1
+        timer.end()  # closes sample at t=4
+        assert timer.totals == {"mac": 1.0, "sample": 3.0}
+        assert timer.spans == [("mac", 0.0, 1.0), ("sample", 1.0, 3.0)]
+
+    def test_end_without_open_phase_is_a_noop(self):
+        timer = PhaseTimer(now=scripted_clock())
+        timer.end()  # must not consume the (empty) clock
+        assert timer.totals == {}
+
+    def test_unknown_phase_rejected(self):
+        timer = PhaseTimer(now=scripted_clock(0.0))
+        with pytest.raises(ValueError, match="PHASES taxonomy"):
+            timer.begin("warp-drive")
+
+    def test_span_budget_drops_spans_but_keeps_totals(self):
+        clock = scripted_clock(*[float(t) for t in range(8)])
+        timer = PhaseTimer(now=clock, max_spans=2)
+        for _ in range(4):
+            timer.begin("channel")
+            timer.end()
+        assert len(timer.spans) == 2
+        assert timer.dropped_spans == 2
+        assert timer.counts == {"channel": 4}
+        assert timer.totals == {"channel": 4.0}
+        snap = timer.snapshot()
+        assert snap["spans"] == 2
+        assert snap["dropped_spans"] == 2
+
+    def test_table_rows_follow_taxonomy_order(self):
+        # Feed phases in reverse taxonomy order; the table must come
+        # back in PHASES order so tables from different trials align.
+        phases = list(PHASES)
+        clock = scripted_clock(*[float(t) for t in range(2 * len(phases))])
+        timer = PhaseTimer(now=clock)
+        for name in reversed(phases):
+            timer.begin(name)
+            timer.end()
+        rows = timer.table()
+        assert [row[0] for row in rows] == phases
+        assert all(row[1] == 1 for row in rows)
+        assert sum(row[4] for row in rows) == pytest.approx(1.0)
+
+    def test_null_phases_is_a_total_noop(self):
+        NULL_PHASES.begin("not-even-a-phase")  # no validation when off
+        NULL_PHASES.end()
+        assert NULL_PHASES.totals == {}
+        assert not NULL_PHASES.enabled
+
+    def test_snapshot_counts_are_deterministic_keys(self):
+        timer = PhaseTimer(now=scripted_clock(0.0, 1.0, 2.0, 3.0, 4.0))
+        timer.begin("sample")
+        timer.begin("channel")
+        timer.end()
+        timer.begin("sample")
+        timer.end()
+        snap = timer.snapshot()
+        assert snap["counts"] == {"channel": 1, "sample": 2}
+        assert list(snap["counts"]) == sorted(snap["counts"])

@@ -1,0 +1,144 @@
+"""The ``python -m repro.obs.report`` CLI, both modes."""
+
+import json
+
+import pytest
+
+from repro.experiments.batch import BatchRunner
+from repro.experiments.campaign import CampaignSpec, run_missing
+from repro.experiments.store import ResultsStore
+from repro.obs import report
+from repro.obs.trace_export import validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
+class TestTrialMode:
+    def test_renders_phases_metrics_and_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.trace.json"
+        json_path = tmp_path / "t.json"
+        md_path = tmp_path / "t.md"
+        jsonl_path = tmp_path / "t.jsonl"
+        rc = report.main(
+            [
+                "--scenario",
+                "static-paper",
+                "--epochs",
+                "40",
+                "--trace-out",
+                str(trace_path),
+                "--trace-jsonl",
+                str(jsonl_path),
+                "--json",
+                str(json_path),
+                "--markdown",
+                str(md_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epoch-tick phase profile" in out
+        assert "metric snapshot" in out
+        assert "trace record counts" in out
+
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert jsonl_path.exists()
+        assert "## Phase profile" in md_path.read_text()
+
+        payload = json.loads(json_path.read_text())
+        assert payload["label"] == "static-paper"
+        assert payload["metrics"]["counters"]["runner.epochs"] == 40
+        assert "phase_counts" in payload
+        # Deterministic export: no measured durations may enter.
+        assert "totals" not in json.dumps(payload)
+
+    def test_json_export_is_reproducible(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            rc = report.main(
+                [
+                    "--scenario",
+                    "static-paper",
+                    "--epochs",
+                    "30",
+                    "--instrument",
+                    "metrics",
+                    "--json",
+                    str(path),
+                ]
+            )
+            assert rc == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_metrics_only_mode_skips_phase_table(self, tmp_path, capsys):
+        rc = report.main(
+            [
+                "--scenario",
+                "static-paper",
+                "--epochs",
+                "30",
+                "--instrument",
+                "metrics",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metric snapshot" in out
+        assert "phase profile" not in out
+
+
+class TestCampaignMode:
+    def test_summarises_store(self, tmp_path, capsys):
+        spec = CampaignSpec(
+            name="report-demo",
+            scenarios=("static-paper",),
+            protocols=("dirq",),
+            replicates=2,
+            num_epochs=40,
+            seed=1,
+        )
+        store_path = tmp_path / "s.sqlite"
+        with ResultsStore(store_path) as store:
+            run_missing(
+                spec,
+                store,
+                runner=BatchRunner(
+                    max_workers=1, executor="serial", cache_dir=None
+                ),
+            )
+        json_path = tmp_path / "c.json"
+        rc = report.main(
+            [
+                "--campaign",
+                "report-demo",
+                "--store",
+                str(store_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert spec.campaign_id in out
+        assert "2/2" in out
+        payload = json.loads(json_path.read_text())
+        with ResultsStore(store_path) as store:
+            assert payload == store.export_jsonable(spec.campaign_id)
+
+    def test_missing_store_and_unknown_campaign_fail_cleanly(
+        self, tmp_path, capsys
+    ):
+        rc = report.main(
+            ["--campaign", "x", "--store", str(tmp_path / "absent.sqlite")]
+        )
+        assert rc == 2
+        assert "no results store" in capsys.readouterr().err
+
+        store_path = tmp_path / "s.sqlite"
+        with ResultsStore(store_path):
+            pass
+        rc = report.main(["--campaign", "ghost", "--store", str(store_path)])
+        assert rc == 2

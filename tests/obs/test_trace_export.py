@@ -1,0 +1,118 @@
+"""Trace export: JSONL and Chrome trace-event JSON, schema-checked."""
+
+import json
+
+import pytest
+
+from repro.obs.phases import PhaseTimer
+from repro.obs.trace_export import (
+    PHASE_PID,
+    TRACE_PID,
+    chrome_trace,
+    tracer_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.simulation.trace import Tracer
+
+from .test_phases import scripted_clock
+
+
+def populated_tracer() -> Tracer:
+    tracer = Tracer(enabled=True)
+    tracer.record(1.5, "channel.tx", 3, frame="beacon")
+    tracer.record(2.0, "channel.rx", 7)
+    return tracer
+
+
+def populated_phases() -> PhaseTimer:
+    timer = PhaseTimer(now=scripted_clock(0.0, 0.25, 0.75))
+    timer.begin("mac")
+    timer.begin("channel")
+    timer.end()
+    return timer
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        text = tracer_to_jsonl(populated_tracer())
+        records = [json.loads(line) for line in text.splitlines()]
+        assert records == [
+            {
+                "category": "channel.tx",
+                "detail": {"frame": "beacon"},
+                "node": 3,
+                "time": 1.5,
+            },
+            {"category": "channel.rx", "detail": {}, "node": 7, "time": 2.0},
+        ]
+
+    def test_empty_tracer_yields_empty_file(self, tmp_path):
+        path = write_jsonl(tmp_path / "t.jsonl", Tracer(enabled=True))
+        assert path.read_text() == ""
+
+
+class TestChromeTrace:
+    def test_schema_round_trips_through_json(self, tmp_path):
+        payload = chrome_trace(
+            phases=populated_phases(),
+            tracer=populated_tracer(),
+            label="unit",
+        )
+        path = write_chrome_trace(tmp_path / "out" / "t.trace.json", payload)
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+        assert loaded == payload
+
+    def test_tracks_and_event_kinds(self):
+        payload = chrome_trace(
+            phases=populated_phases(), tracer=populated_tracer()
+        )
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 2  # one process_name per track
+        # Host-time phase spans on one pid, sim-time instants on the
+        # other; the clocks are unrelated and must never share a track.
+        assert {e["pid"] for e in spans} == {PHASE_PID}
+        assert {e["pid"] for e in instants} == {TRACE_PID}
+        assert [e["name"] for e in spans] == ["mac", "channel"]
+        # Instant events land one lane per node.
+        assert {e["tid"] for e in instants} == {3, 7}
+        # Microsecond integer timestamps throughout.
+        assert all(isinstance(e["ts"], int) for e in events)
+
+    def test_validate_rejects_malformed_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "i"}]})
+        with pytest.raises(ValueError, match="integer"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "i", "ts": 0.5, "pid": 1, "tid": 0}
+                    ]
+                }
+            )
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}
+                    ]
+                }
+            )
+
+    def test_export_is_deterministic(self, tmp_path):
+        paths = []
+        for i in range(2):
+            payload = chrome_trace(
+                phases=populated_phases(),
+                tracer=populated_tracer(),
+                label="det",
+            )
+            paths.append(write_chrome_trace(tmp_path / f"{i}.json", payload))
+        assert paths[0].read_bytes() == paths[1].read_bytes()

@@ -24,6 +24,7 @@ from tools.reprolint import (
     rules_determinism,
     rules_hashcov,
     rules_layering,
+    rules_obs,
     rules_streams,
 )
 from tools.reprolint.rules_layering import ImportEdge
@@ -516,6 +517,84 @@ class TestStreamRules:
         assert rl4 == [], [f.render() for f in rl4]
 
 
+class TestObsRules:
+    def _check(self, src):
+        return rules_obs.check([src], REPO_ROOT, repo_mode=False)
+
+    def test_rl501_computed_metric_name(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            def bump(metrics, kind):
+                metrics.inc("engine." + kind)
+            """,
+        )
+        assert [f.code for f in self._check(src)] == ["RL501"]
+
+    def test_rl502_unregistered_metric(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            def bump(metrics):
+                metrics.inc("engine.bogus_counter")
+            """,
+        )
+        assert [f.code for f in self._check(src)] == ["RL502"]
+
+    def test_rl503_unregistered_trace_category(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            def note(tracer, now):
+                tracer.record(now, "bogus.category", 1)
+            """,
+        )
+        assert [f.code for f in self._check(src)] == ["RL503"]
+
+    def test_rl504_clock_read_in_payload(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            import time
+
+            def bump(metrics):
+                metrics.observe("channel.fanout", time.perf_counter())
+            """,
+        )
+        assert [f.code for f in self._check(src)] == ["RL504"]
+
+    def test_rl505_unjustified_hash_exclude(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            class ProbeConfig:
+                HASH_EXCLUDE = ("secret_knob",)
+            """,
+        )
+        findings = self._check(src)
+        assert [f.code for f in findings] == ["RL505"]
+        assert "secret_knob" in findings[0].message
+
+    def test_registered_literals_are_clean(self, tmp_path):
+        src = make_source(
+            tmp_path,
+            """
+            def ok(metrics, tracer, now, fanout):
+                metrics.inc("engine.events_executed")
+                metrics.observe("channel.fanout", fanout)
+                tracer.record(now, "channel.tx", 1)
+            """,
+        )
+        assert self._check(src) == []
+
+    def test_repo_wide_obs_scan_is_silent(self):
+        findings, _, _ = cli.lint_paths(
+            [REPO_ROOT / "src" / "repro"], REPO_ROOT, dynamic=False
+        )
+        rl5 = [f for f in findings if f.code.startswith("RL5")]
+        assert rl5 == [], [f.render() for f in rl5]
+
+
 @pytest.mark.parametrize("snippet", CORPUS, ids=lambda p: p.name)
 def test_corpus_snippet_matches_expectation(snippet, capsys):
     expected = cli._expected_codes(snippet.read_text(encoding="utf-8"))
@@ -530,6 +609,7 @@ def test_corpus_snippet_matches_expectation(snippet, capsys):
         findings.extend(rules_determinism.check([src]))
         findings.extend(rules_hashcov.check([src], dynamic=False))
         findings.extend(rules_streams.check([src], REPO_ROOT, repo_mode=False))
+        findings.extend(rules_obs.check([src], REPO_ROOT, repo_mode=False))
         findings, _ = core.apply_pragmas(findings, [src])
         found = {f.code for f in findings}
     assert found == set(expected)

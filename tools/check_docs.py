@@ -47,6 +47,7 @@ ARGPARSE_CLIS = {
     "repro.experiments.campaign",
     "repro.experiments.grid",
     "repro.scenarios.run",
+    "repro.obs.report",
     "benchmarks.bench_engine",
     "benchmarks.bench_scenarios",
     "benchmarks.bench_scale",

@@ -17,7 +17,13 @@ from typing import List, Optional, Sequence, Tuple
 from tools._common import REPO_ROOT, bootstrap
 
 from . import core
-from . import rules_determinism, rules_hashcov, rules_layering, rules_streams
+from . import (
+    rules_determinism,
+    rules_hashcov,
+    rules_layering,
+    rules_obs,
+    rules_streams,
+)
 from .core import Finding, SourceFile
 
 #: Modules exempt from RL101/RL103/RL104: the one sanctioned RNG module.
@@ -102,6 +108,7 @@ def lint_paths(
     findings.extend(
         rules_streams.check(files, repo_root, repo_mode=repo_mode)
     )
+    findings.extend(rules_obs.check(files, repo_root, repo_mode=repo_mode))
     findings, suppressed = core.apply_pragmas(findings, files)
     return sorted(findings, key=lambda f: f.sort_key), files, suppressed
 
@@ -193,6 +200,9 @@ def run_self_test(stdout=sys.stdout) -> int:
             findings.extend(
                 rules_streams.check([src], REPO_ROOT, repo_mode=False)
             )
+            findings.extend(
+                rules_obs.check([src], REPO_ROOT, repo_mode=False)
+            )
             findings, _ = core.apply_pragmas(findings, [src])
             found = {f.code for f in findings}
         if found == set(expected):
@@ -217,7 +227,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description=(
             "AST contract linter: determinism (RL1xx), config hash "
             "coverage (RL2xx), import layering (RL3xx), RNG stream "
-            "discipline (RL4xx).  See docs/linting.md."
+            "discipline (RL4xx), observability catalogue discipline "
+            "(RL5xx).  See docs/linting.md."
         ),
     )
     parser.add_argument(

@@ -98,6 +98,34 @@ RULES: Dict[str, Tuple[str, str]] = {
         "STREAM_REGISTRY missing or unparseable",
         "the stream table is the single source of truth for RL4xx",
     ),
+    "RL501": (
+        "metric/trace name is not a string literal",
+        "computed names defeat static collision checking",
+    ),
+    "RL502": (
+        "unregistered metric name",
+        "every metric must be declared in METRIC_CATALOGUE "
+        "(obs/catalogue.py) so spelling drift is impossible",
+    ),
+    "RL503": (
+        "unregistered trace category",
+        "every tracer category must be declared in TRACE_CATALOGUE "
+        "(obs/catalogue.py) so spelling drift is impossible",
+    ),
+    "RL504": (
+        "clock read inside a metric/trace call argument",
+        "measured time in a recorded payload poisons determinism "
+        "comparisons; timings belong to the phase profiler",
+    ),
+    "RL505": (
+        "HASH_EXCLUDE field without a HASH_EXEMPT rationale",
+        "an unconditional hash exclusion is indistinguishable from a "
+        "hashing bug unless justified in experiments/batch.py",
+    ),
+    "RL506": (
+        "obs catalogue missing or unparseable",
+        "the catalogue tables are the single source of truth for RL5xx",
+    ),
 }
 
 _PRAGMA_RE = re.compile(

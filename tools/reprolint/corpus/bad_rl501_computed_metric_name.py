@@ -1,0 +1,6 @@
+# reprolint-corpus: expect=RL501
+"""Known-bad: computed metric names defeat static collision checks."""
+
+
+def bump(metrics, subsystem: str):
+    metrics.inc(subsystem + ".events")

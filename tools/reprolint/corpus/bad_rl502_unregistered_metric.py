@@ -1,0 +1,6 @@
+# reprolint-corpus: expect=RL502
+"""Known-bad: metric name missing from METRIC_CATALOGUE."""
+
+
+def bump(metrics):
+    metrics.inc("engine.events_exectued")  # typo of events_executed

@@ -1,0 +1,6 @@
+# reprolint-corpus: expect=RL503
+"""Known-bad: trace category missing from TRACE_CATALOGUE."""
+
+
+def note(tracer, now: float, node: int):
+    tracer.record(now, "lmac.neighbour_lost", node)  # en-GB spelling drift

@@ -1,0 +1,13 @@
+# reprolint-corpus: expect=RL504
+"""Known-bad: a clock read inside a metric payload poisons comparisons.
+
+``perf_counter`` (not ``time.time``) on purpose: the monotonic clock is
+sanctioned for profiling generally (RL102 does not flag it), but never
+inside a recorded metric/trace payload.
+"""
+
+import time
+
+
+def observe(metrics):
+    metrics.observe("channel.fanout", time.perf_counter())

@@ -1,0 +1,12 @@
+# reprolint-corpus: expect=RL505
+"""Known-bad: HASH_EXCLUDE entry with no HASH_EXEMPT rationale."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class ProbeConfig:
+    HASH_EXCLUDE = ("verbosity",)
+
+    seed: int = 1
+    verbosity: int = 0

@@ -1,0 +1,8 @@
+# reprolint-corpus: expect=
+"""Known-good: literal, registered metric and trace names."""
+
+
+def instrumented_tick(metrics, tracer, now: float, node: int, fanout: int):
+    metrics.inc("engine.events_executed")
+    metrics.observe("channel.fanout", fanout)
+    tracer.record(now, "channel.tx", node, fanout=fanout)

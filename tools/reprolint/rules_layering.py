@@ -38,6 +38,7 @@ from .core import Finding, SourceFile, dotted_name
 LAYERS: Sequence[Tuple[str, int]] = (
     ("repro.utils", 0),
     ("repro.simulation", 10),
+    ("repro.obs", 10),
     ("repro.scenarios.spec", 10),
     ("repro.network", 20),
     ("repro.energy", 20),
@@ -54,6 +55,7 @@ LAYERS: Sequence[Tuple[str, int]] = (
     ("repro.scenarios.run", 80),
     ("repro.experiments.grid", 90),
     ("repro.experiments.campaign", 90),
+    ("repro.obs.report", 90),
     ("repro", 100),
 )
 
