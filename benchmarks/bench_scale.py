@@ -286,28 +286,36 @@ def ab_fingerprints(
     num_epochs: int = AB_EPOCHS,
     seed: int = BENCH_SEED,
 ) -> Dict[str, object]:
-    """Fingerprints of the same trial under both neighbour/tree strategies.
+    """Fingerprints of the same trial under every strategy axis.
 
-    The config hash legitimately differs (``neighbor_method`` /
-    ``tree_repair`` are part of the config), so the comparison uses
-    ``fingerprint(include_key=False)`` -- measurements only.
+    Three arms: the fast defaults, the brute neighbour/tree reference,
+    and the columnar epoch tick on top of the fast defaults (the PR-10
+    axis, multiplicative with the scale path).  The config hashes
+    legitimately differ (the strategy flags are part of the config), so
+    the comparison uses ``fingerprint(include_key=False)`` --
+    measurements only.
     """
     fast_cfg = build_config(scenario, num_epochs=num_epochs, seed=seed)
     brute_cfg = fast_cfg.replace(neighbor_method="brute", tree_repair="full")
+    columnar_cfg = fast_cfg.replace(tick_method="columnar")
     runner = BatchRunner(max_workers=1, executor="serial", cache_dir="")
-    fast, brute = runner.run(
+    fast, brute, columnar = runner.run(
         [
             TrialSpec(label="ab fast", config=fast_cfg),
             TrialSpec(label="ab brute", config=brute_cfg),
+            TrialSpec(label="ab columnar", config=columnar_cfg),
         ]
     )
+    prints = {
+        "fast": fast.fingerprint(include_key=False),
+        "brute": brute.fingerprint(include_key=False),
+        "columnar": columnar.fingerprint(include_key=False),
+    }
     return {
         "scenario": scenario,
         "epochs": num_epochs,
-        "fast": fast.fingerprint(include_key=False),
-        "brute": brute.fingerprint(include_key=False),
-        "identical": fast.fingerprint(include_key=False)
-        == brute.fingerprint(include_key=False),
+        **prints,
+        "identical": len(set(prints.values())) == 1,
     }
 
 
@@ -365,13 +373,13 @@ def test_maintenance_path_speedup(benchmark):
 
 
 def test_scale_ab_bit_identity(benchmark):
-    """Brute and fast paths agree bit-for-bit on a mobile 500-node trial."""
+    """Brute, fast, and columnar paths agree bit-for-bit on a mobile 500-node trial."""
     report = benchmark.pedantic(
         lambda: ab_fingerprints(), rounds=1, iterations=1
     )
     assert report["identical"], (
-        f"fast/brute fingerprints diverged on {report['scenario']}: "
-        f"{report['fast']} vs {report['brute']}"
+        f"fast/brute/columnar fingerprints diverged on {report['scenario']}: "
+        f"{report['fast']} vs {report['brute']} vs {report['columnar']}"
     )
     emit(
         "fast-vs-brute bit identity",
@@ -485,12 +493,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ab = ab_fingerprints(num_epochs=ab_epochs, seed=args.seed)
     print(
         f"A/B {ab['scenario']} ({ab_epochs} epochs): "
-        f"fast {ab['fast']} brute {ab['brute']}"
+        f"fast {ab['fast']} brute {ab['brute']} columnar {ab['columnar']}"
     )
     if not ab["identical"]:
-        print("FAIL: fast and brute fingerprints differ", file=sys.stderr)
+        print("FAIL: fast/brute/columnar fingerprints differ", file=sys.stderr)
         return 1
-    print("A/B: fast and brute paths are bit-identical")
+    print("A/B: fast, brute, and columnar paths are bit-identical")
 
     report = {
         "epochs_per_point": num_epochs,

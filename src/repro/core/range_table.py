@@ -85,6 +85,12 @@ class RangeTable:
         #: :meth:`pending_update` (see there).
         self._version = 0
         self._no_update_memo: Optional[Tuple[int, float]] = None
+        #: Optional zero-argument callback fired after every mutation that
+        #: bumps :attr:`_version` (entry changes and transmissions).  The
+        #: columnar tick (``repro.experiments.columnar``) registers one per
+        #: table to invalidate its cached row when a message handler or
+        #: topology event mutates the table between epoch passes.
+        self.observer = None
 
     # -- own entry maintenance (equations (1)–(2)) ------------------------------------
 
@@ -244,11 +250,15 @@ class RangeTable:
         """Record that ``aggregate`` has been sent upstream."""
         self.last_transmitted = (float(aggregate[0]), float(aggregate[1]))
         self._version += 1
+        if self.observer is not None:
+            self.observer()
 
     def _touch(self) -> None:
         """Invalidate derived caches after an entry mutation."""
         self._aggregate_dirty = True
         self._version += 1
+        if self.observer is not None:
+            self.observer()
 
     def routing_entry_for(self, child: NodeId) -> Optional[RangeEntry]:
         """Entry used to decide whether to forward a query to ``child``."""

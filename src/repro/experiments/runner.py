@@ -59,6 +59,7 @@ from ..workload.generator import QueryWorkloadGenerator
 from ..workload.ground_truth import evaluate_query
 from ..workload.injection import periodic_schedule
 from ..workload.predictor import QueryRatePredictor
+from .columnar import ColumnarTick
 from .config import ExperimentConfig, ProtocolName, TopologyEvent
 
 
@@ -587,6 +588,20 @@ class ExperimentRunner:
         epochs_per_hour = cfg.dirq.epochs_per_hour
         window_epochs = cfg.window_epochs
 
+        # Columnar epoch tick (tick_method="columnar"): one numpy pass per
+        # sensor type instead of the per-node on_epoch loop, bit-identical
+        # by construction (see repro.experiments.columnar).  Flooding has
+        # no sampling loop to vectorise, so the flag only affects DirQ.
+        columnar: Optional[ColumnarTick] = None
+        if is_dirq and cfg.tick_method == "columnar":
+            columnar = ColumnarTick(world.dataset, cfg.dirq)
+            columnar.set_protocols(alive_protocols)
+            # Columnar mode also opts the MAC layer into steady-state beacon
+            # batching: provably-identical beacon ticks skip frame and
+            # delivery-event construction (see LMACProtocol._try_fast_beacon).
+            for mac in world.macs.values():
+                mac.fast_beacons = True
+
         # Phase profiling ("full" instrumentation only).  ``begin`` both
         # opens a phase and closes the previous one, so the loop below
         # needs no end() calls; the ``profiling`` guard keeps the
@@ -684,6 +699,8 @@ class ExperimentRunner:
                 alive_protocols = [
                     world.protocols[nid] for nid in sorted(world.alive)
                 ]
+                if columnar is not None:
+                    columnar.set_protocols(alive_protocols)
 
             # Hourly EHr estimate (DirQ only).
             if is_dirq and epoch % epochs_per_hour == 0:
@@ -694,8 +711,11 @@ class ExperimentRunner:
             # Per-epoch sensing and range maintenance.
             if profiling:
                 begin_phase("sample")
-            for proto in alive_protocols:
-                proto.on_epoch(epoch)
+            if columnar is not None:
+                columnar.tick(epoch)
+            else:
+                for proto in alive_protocols:
+                    proto.on_epoch(epoch)
             if profiling:
                 begin_phase("channel")
             run_until(epoch + 0.5)
@@ -761,6 +781,10 @@ class ExperimentRunner:
         if profiling:
             begin_phase("channel")
         sim.run_until(float(cfg.num_epochs))
+        if columnar is not None:
+            # Fold deferred suppression / sampling counters back into the
+            # protocol objects before anything reads them.
+            columnar.finalize()
         if profiling:
             phases.end()
 

@@ -20,7 +20,7 @@ from ..network.addresses import BROADCAST, NodeId
 MAC_CONTROL_KIND = "mac_control"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ControlSection:
     """LMAC control section broadcast in a node's own slot.
 
@@ -43,7 +43,7 @@ class ControlSection:
     sequence: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MACFrame:
     """One over-the-air LMAC frame.
 

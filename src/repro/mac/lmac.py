@@ -55,6 +55,56 @@ UpperLayerHandler = Callable[[NodeId, Any], None]
 """Upper-layer receive hook: ``(sender_id, payload) -> None``."""
 
 
+class _BeaconTarget:
+    """One receiver's slice of a cached fast-beacon delivery plan.
+
+    Full rows (``_BeaconPlan.rows``) are validated steady-state LMAC
+    receivers; charge-only rows (``_BeaconPlan.charge``) are targets with
+    no registered receiver and use only ``target``/``rx_entry``.  All
+    referenced objects are identity-stable in the steady state, so
+    per-tick revalidation is identity and version checks only.
+    """
+
+    __slots__ = (
+        "target",
+        "callback",
+        "steady_get",
+        "token",
+        "schedule",
+        "version",
+        "first_hop",
+        "slot_of",
+        "timers_get",
+        "entry",
+        "counters",
+        "sequences",
+        "rx_entry",
+    )
+
+
+class _BeaconPlan:
+    """Cached fast-beacon delivery plan for one sender (see _try_fast_beacon).
+
+    ``dead`` holds targets that were dead at build time (free while dead;
+    revival invalidates the plan), so ``targets`` -- and with it the
+    per-beacon transmit cost -- is a plan constant.
+    """
+
+    __slots__ = (
+        "graph",
+        "degree",
+        "slot",
+        "occ",
+        "rows",
+        "charge",
+        "dead",
+        "targets",
+        "tx_entry",
+        "tx_cost",
+        "rx_cost",
+    )
+
+
 class LMACProtocol(SimProcess):
     """LMAC instance running on one node.
 
@@ -115,6 +165,25 @@ class LMACProtocol(SimProcess):
         self.slot_elections = 0
         self._last_sequence_seen: dict[NodeId, int] = {}
         self._beacons_since_heard: dict[NodeId, int] = {}
+        self._ctrl_cache: Optional[ControlSection] = None
+        #: Opt-in steady-state beacon batching (columnar tick mode).  When
+        #: enabled, a beacon tick whose every observable effect is provably
+        #: the steady-state bookkeeping applies those effects directly --
+        #: no frame object, no delivery event, no per-receiver dispatch.
+        #: See _try_fast_beacon for the eligibility proof obligations.
+        self.fast_beacons = False
+        self._beacon_plan: Optional[_BeaconPlan] = None
+        # High-water mark of _beacons_since_heard after the last fast sweep
+        # (None = unknown).  Counters only *decrease* between our ticks
+        # (receptions reset them), so a low mark proves no neighbour can
+        # reach the death threshold this tick without scanning them all.
+        self._bsh_max: Optional[int] = None
+        # Steady-state reception cache: sender -> (slot, occupied-slots
+        # frozenset *object*, schedule version, neighbour entry).  A frame
+        # whose control section matches the cached slot / occupancy object
+        # while the schedule version is unchanged can skip the whole
+        # neighbour-bookkeeping path -- see _on_channel_receive.
+        self._steady: dict[NodeId, tuple] = {}
         self._mac_access_delay = 1e-4
         # Per-kind transmit labels, built once: send() runs for every frame
         # of a 20 000-epoch trial, so the label f-string is hoisted out.
@@ -204,9 +273,261 @@ class LMACProtocol(SimProcess):
     def _beacon_tick(self) -> None:
         if not self.channel.is_alive(self.node_id):
             return
-        self._emit_beacon()
-        self._check_dead_neighbors()
+        if not (self.fast_beacons and self._try_fast_beacon()):
+            self._bsh_max = None
+            self._emit_beacon()
+            self._check_dead_neighbors()
         self.set_timer("beacon", self.beacon_interval, self._beacon_tick)
+
+    def _try_fast_beacon(self) -> bool:
+        """Apply one beacon tick's steady-state effects without a frame.
+
+        Returns ``True`` when the whole tick (beacon emission, delivery to
+        every receiver, and the dead-neighbour sweep) was applied directly;
+        ``False`` demands the reference path.  Eligibility is conservative:
+        the direct application is used only when it is provably
+        bit-identical to emitting a real frame, which requires
+
+        * a lossless channel (loss draws consume the channel RNG stream in
+          transmission order) and a disabled tracer (the direct path emits
+          no ``channel.tx``/``channel.rx`` records);
+        * the delivery instant ``now + propagation_delay`` falling in the
+          same runner processing window as ``now`` (the runner reads the
+          ledger at the epoch's 0.5 / 0.95 / boundary checkpoints, so a
+          reception charge must not migrate across one);
+        * no neighbour about to be declared dead this tick (death publishes
+          a cross-layer event whose exact simulated time matters);
+        * every alive receiver being a plain LMAC stack in the steady state
+          for this sender (valid fast-path cache entry, first-hop ownership
+          intact -- i.e. the delivery would take the reception fast path);
+        * no receiver's own beacon timer firing inside the propagation
+          window (its dead-neighbour sweep must order with this delivery
+          exactly as the event queue would order them).
+
+        Under those conditions every effect of the tick is private
+        per-(receiver, sender) state or epoch-aggregated accounting, so
+        applying it at tick time instead of delivery time is unobservable.
+
+        The per-receiver eligibility data is cached in a *beacon plan*
+        (see :class:`_BeaconTarget`): in the steady state every object the
+        checks dereference -- the receiver's bound method, its cached
+        steady tuple, its schedule dicts, its ledger entry -- is identity
+        stable, so each tick only revalidates identities and version
+        counters instead of rebuilding the delivery list.
+        """
+        channel = self.channel
+        if channel.loss_probability > 0.0 or channel.tracer.enabled:
+            return False
+        schedule = self.schedule
+        slot = schedule.own_slot
+        if slot is None:
+            return False
+        now = self.sim.clock.now
+        prop = channel.propagation_delay
+        frac = now - int(now)
+        rx_frac = frac + prop
+        if (
+            (frac < 0.5 and rx_frac >= 0.5)
+            or (frac < 0.95 and rx_frac >= 0.95)
+            or rx_frac >= 1.0
+        ):
+            return False
+        threshold = self.death_threshold
+        bsh = self._beacons_since_heard
+        bsh_get = bsh.get
+        neighbor_entries = self.neighbors._entries
+        bsh_max = self._bsh_max
+        if bsh_max is None or bsh_max + 2 > threshold:
+            # After the last sweep every counter was <= bsh_max; since then
+            # they can only have been reset (receptions) or created at zero
+            # (new neighbours), so bsh_max + 2 <= threshold proves the
+            # sweep below cannot push any counter to the death threshold.
+            for n in neighbor_entries:
+                if bsh_get(n, 0) + 1 >= threshold:
+                    return False
+        occ = schedule.occupied_first_hop_frozen()
+        nid = self.node_id
+        graph = channel.graph
+        plan = self._beacon_plan
+        if (
+            plan is None
+            or plan.graph is not graph
+            or plan.slot != slot
+            or plan.occ is not occ
+            or plan.degree != len(graph._adj[nid])
+        ):
+            plan = self._build_beacon_plan(graph, slot, occ)
+            if plan is None:
+                return False
+        alive_get = channel._alive.get
+        receivers_get = channel._receivers.get
+        rx_deadline = now + prop
+        # Any liveness or registration change among the planned targets
+        # invalidates the plan (rare); in exchange the steady-state passes
+        # below never re-derive the target count or re-check row kinds.
+        for t in plan.dead:
+            if alive_get(t):
+                self._beacon_plan = None
+                return False
+        for row in plan.charge:
+            t = row.target
+            if not alive_get(t) or receivers_get(t) is not None:
+                self._beacon_plan = None
+                return False
+        rows = plan.rows
+        flips = None
+        for row in rows:
+            t = row.target
+            if (
+                not alive_get(t)
+                or receivers_get(t) is not row.callback
+                or row.steady_get(nid) is not row.token
+                or row.schedule.version != row.version
+            ):
+                self._beacon_plan = None
+                return False
+            first_hop = row.first_hop
+            current = first_hop.get(slot)
+            if current != nid:
+                # Two mutually-hidden neighbours sharing this slot alternate
+                # ownership of the receiver's first-hop entry on every
+                # beacon.  A pure owner flip (same recorded slot, entry
+                # currently held by the other sharer) is exactly what
+                # record_neighbor_slot would apply -- no frozen-view or
+                # version invalidation -- so it is replayed on commit.
+                if current is None or row.slot_of.get(nid) != slot:
+                    self._beacon_plan = None
+                    return False
+                if flips is None:
+                    flips = [first_hop]
+                else:
+                    flips.append(first_hop)
+            handle = row.timers_get("beacon")
+            if handle is not None:
+                event = handle._event
+                if not event.cancelled and event.time <= rx_deadline:
+                    # Transient hazard: the plan itself is still valid.
+                    return False
+
+        # Eligible: commit the tick.  Sender-side effects happen at `now`,
+        # exactly when _emit_beacon would apply them.
+        if flips is not None:
+            for first_hop in flips:
+                first_hop[slot] = nid
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        self.beacons_sent += 1
+        stats = channel.stats
+        stats.broadcasts += 1
+        if channel.metrics.enabled:
+            channel.metrics.observe("channel.fanout", plan.targets)
+        tx_entry = plan.tx_entry
+        tx_entry.count += 1
+        tx_entry.cost += plan.tx_cost
+        rx_cost = plan.rx_cost
+        rx_time = rx_deadline
+        for row in plan.charge:
+            rx_entry = row.rx_entry
+            rx_entry.count += 1
+            rx_entry.cost += rx_cost
+        for row in rows:
+            rx_entry = row.rx_entry
+            rx_entry.count += 1
+            rx_entry.cost += rx_cost
+            entry = row.entry
+            if rx_time > entry.last_heard:
+                entry.last_heard = rx_time
+            row.counters[nid] = 0
+            row.sequences[nid] = sequence
+        stats.deliveries += len(rows)
+        # Dead-neighbour sweep: no counter reaches the threshold (checked
+        # above), so the increment is the sweep's only effect.
+        bsh_max = 0
+        for n in neighbor_entries:
+            v = bsh_get(n, 0) + 1
+            bsh[n] = v
+            if v > bsh_max:
+                bsh_max = v
+        self._bsh_max = bsh_max
+        return True
+
+    def _build_beacon_plan(self, graph, slot: int, occ) -> Optional["_BeaconPlan"]:
+        """Validate every current receiver and snapshot the delivery plan.
+
+        Returns ``None`` when some alive receiver is not in the steady
+        state for this sender (so the reference path must run).  Dead
+        graph neighbours get a sentinel entry: they cost nothing while
+        dead, and their revival invalidates the plan so the rebuilt one
+        can validate their fresh state.
+        """
+        channel = self.channel
+        nid = self.node_id
+        alive = channel._alive
+        receivers = channel._receivers
+        ledger = channel.ledger
+        rx_key = ("rx", MAC_CONTROL_KIND)
+        lmac_receive = LMACProtocol._on_channel_receive
+        rows = []
+        charge = []
+        dead = []
+        adjacency = graph._adj[nid]
+        for t in adjacency:
+            if not alive.get(t):
+                # No ledger access: the reference path never charges a dead
+                # target, so materialising its (zero) rx entry here would
+                # perturb the per-kind energy breakdown.
+                dead.append(t)
+                continue
+            row = _BeaconTarget()
+            row.target = t
+            row.rx_entry = ledger.node(t)._entries[rx_key]
+            receiver = receivers.get(t)
+            if receiver is None:
+                charge.append(row)
+                continue
+            if getattr(receiver, "__func__", None) is not lmac_receive:
+                return None
+            mac = receiver.__self__
+            cached = mac._steady.get(nid)
+            sched = mac.schedule
+            if (
+                cached is None
+                or cached[2] != sched.version
+                or cached[1] is not occ
+                or cached[0] != slot
+            ):
+                return None
+            owner = sched._first_hop.get(slot)
+            if owner != nid and (
+                owner is None or sched._slot_of.get(nid) != slot
+            ):
+                return None
+            row.callback = receiver
+            row.steady_get = mac._steady.get
+            row.token = cached
+            row.schedule = sched
+            row.version = sched.version
+            row.first_hop = sched._first_hop
+            row.slot_of = sched._slot_of
+            row.timers_get = mac._timers.get
+            row.entry = cached[3]
+            row.counters = mac._beacons_since_heard
+            row.sequences = mac._last_sequence_seen
+            rows.append(row)
+        plan = _BeaconPlan()
+        plan.graph = graph
+        plan.degree = len(adjacency)
+        plan.slot = slot
+        plan.occ = occ
+        plan.rows = rows
+        plan.charge = charge
+        plan.dead = dead
+        plan.targets = len(rows) + len(charge)
+        plan.tx_entry = ledger.node(nid)._entries[("tx", MAC_CONTROL_KIND)]
+        plan.tx_cost = channel.energy_model.transmit_cost(8, plan.targets)
+        plan.rx_cost = channel.energy_model.receive_cost(8)
+        self._beacon_plan = plan
+        return plan
 
     def _emit_beacon(self) -> None:
         self._sequence += 1
@@ -222,11 +543,26 @@ class LMACProtocol(SimProcess):
         self.channel.broadcast(self.node_id, frame, MAC_CONTROL_KIND, 8)
 
     def _control_section(self) -> ControlSection:
-        return ControlSection(
-            slot=self.schedule.own_slot,
-            occupied_slots=self.schedule.occupied_first_hop_frozen(),
-            sequence=self._sequence,
+        # ControlSection is immutable, so the same object is reused until
+        # the slot, the occupancy view, or the beacon sequence changes.
+        # Reuse also keeps the occupied-slots frozenset identity stable
+        # across frames, which is what receivers' steady-state fast path
+        # keys on.
+        slot = self.schedule.own_slot
+        occupied = self.schedule.occupied_first_hop_frozen()
+        cached = self._ctrl_cache
+        if (
+            cached is not None
+            and cached.slot == slot
+            and cached.occupied_slots is occupied
+            and cached.sequence == self._sequence
+        ):
+            return cached
+        cached = ControlSection(
+            slot=slot, occupied_slots=occupied, sequence=self._sequence
         )
+        self._ctrl_cache = cached
+        return cached
 
     def _check_dead_neighbors(self) -> None:
         """Increment missed-beacon counters and declare silent neighbours dead."""
@@ -260,11 +596,40 @@ class LMACProtocol(SimProcess):
             # Foreign traffic (e.g. the tree-setup protocol driving the
             # channel directly) is ignored by the MAC layer.
             return
+        # No liveness re-check here: the channel's delivery loop verifies the
+        # receiver is alive immediately before invoking this hook, and the
+        # alive map cannot change within one delivery event (death happens
+        # via runner epochs / scripted events, never inside a receiver).
         node_id = self.node_id
-        if not self._channel_is_alive(node_id):
-            return
-        self._observe_neighbor(sender, frame.control)
-        if frame.has_payload:
+        control = frame.control
+        cached = self._steady.get(sender)
+        schedule = self.schedule
+        slot = control.slot
+        if (
+            cached is not None
+            and cached[2] == schedule.version
+            and cached[1] is control.occupied_slots
+            and cached[0] == slot
+            and (slot is None or schedule._first_hop.get(slot) == sender)
+        ):
+            # Steady state: the sender re-announces the same slot and the
+            # identical (cached, see occupied_first_hop_frozen) occupancy
+            # set, nothing changed our own slot or neighbourhood since the
+            # full path last ran for this sender, and the sender still owns
+            # its first-hop map entry (two mutually-hidden neighbours can
+            # share a slot and alternate that entry; each flip must run the
+            # full path so the map history matches the brute sequence).
+            # Every step of _observe_neighbor is then provably a no-op
+            # except the three writes below.
+            now = self.sim.clock.now
+            entry = cached[3]
+            if now > entry.last_heard:
+                entry.last_heard = now
+            self._beacons_since_heard[sender] = 0
+            self._last_sequence_seen[sender] = control.sequence
+        else:
+            self._observe_neighbor(sender, control)
+        if frame.payload is not None:
             destination = frame.destination
             if destination == node_id or destination == BROADCAST:
                 if self._upper_handler is not None:
@@ -274,7 +639,7 @@ class LMACProtocol(SimProcess):
         now = self.sim.clock.now
         neighbors = self.neighbors
         is_new = sender not in neighbors
-        neighbors.observe(sender, now, slot=control.slot)
+        entry = neighbors.observe(sender, now, slot=control.slot)
         self._beacons_since_heard[sender] = 0
         self._last_sequence_seen[sender] = control.sequence
         self.schedule.record_neighbor_slot(sender, control.slot)
@@ -292,6 +657,21 @@ class LMACProtocol(SimProcess):
                 )
             )
         self._resolve_slot_conflict(sender, control)
+        schedule = self.schedule
+        if control.slot != schedule.own_slot:
+            # Cache this observation for the steady-state fast path.  A
+            # control section claiming our own slot is never cached: the
+            # conflict may have been left standing (lower id wins), and a
+            # saturated re-election could even pick the same slot again --
+            # both must re-run _resolve_slot_conflict on the next frame.
+            self._steady[sender] = (
+                control.slot,
+                control.occupied_slots,
+                schedule.version,
+                entry,
+            )
+        else:
+            self._steady.pop(sender, None)
 
     def _resolve_slot_conflict(self, sender: NodeId, control: ControlSection) -> None:
         """Re-elect if a neighbour claims our slot (lower id wins)."""

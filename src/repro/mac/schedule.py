@@ -45,6 +45,14 @@ class SlotSchedule:
         # cached frozenset for the per-frame control section (see
         # occupied_first_hop_frozen); invalidated on any first-hop change
         self._first_hop_frozen: Optional[FrozenSet[int]] = None
+        #: Bumped on every own-slot change and neighbour forget.  The MAC's
+        #: steady-state reception fast path caches per-sender observations
+        #: against this counter: any such change forces the next frame from
+        #: every neighbour through the full bookkeeping path.  Deliberately
+        #: *not* bumped by two-hop occupancy growth (a merged report stays
+        #: merged until :meth:`forget_neighbor`) nor by first-hop slot
+        #: recording (the fast path checks first-hop ownership directly).
+        self.version = 0
 
     # -- mutation ---------------------------------------------------------------
 
@@ -53,11 +61,13 @@ class SlotSchedule:
         self._check_slot(slot)
         self.own_slot = slot
         self._first_hop_frozen = None
+        self.version += 1
 
     def release(self) -> None:
         """Give up the currently owned slot (used on collision detection)."""
         self.own_slot = None
         self._first_hop_frozen = None
+        self.version += 1
 
     def record_neighbor_slot(self, neighbor: NodeId, slot: Optional[int]) -> None:
         """Record that a one-hop neighbour owns ``slot``."""
@@ -74,8 +84,17 @@ class SlotSchedule:
         if previous is not None and previous != slot:
             if self._first_hop.get(previous) == neighbor:
                 del self._first_hop[previous]
+        displaced = self._first_hop.get(slot)
         self._first_hop[slot] = neighbor
         self._slot_of[neighbor] = slot
+        if previous == slot and displaced is not None:
+            # Pure owner flip: two mutually-out-of-range neighbours can
+            # legitimately share a slot and alternate ownership of this map
+            # entry on every beacon.  The occupied *key set* is unchanged,
+            # so neither the frozen control-section view nor the fast-path
+            # version needs invalidating (the reception fast path checks
+            # first-hop ownership explicitly, see LMACProtocol).
+            return
         self._first_hop_frozen = None
 
     def record_reported_occupancy(self, occupied: FrozenSet[int] | Set[int]) -> None:
@@ -100,6 +119,7 @@ class SlotSchedule:
             del self._first_hop[slot]
         self._second_hop = set()
         self._first_hop_frozen = None
+        self.version += 1
 
     # -- queries -----------------------------------------------------------------
 

@@ -377,13 +377,23 @@ class WirelessChannel:
             stats = self.stats
             tracer = self.tracer
             ledger = self.ledger
+            ledger_nodes = ledger._nodes
+            rx_key = ("rx", kind)
             now = self.sim.now
             traced = tracer.enabled
             for target in targets:
                 if not alive.get(target):
                     stats.drops_dead_node += 1
                     continue
-                ledger.node(target).charge_rx(kind, rx_cost)
+                # Inlined ledger.node(target).charge_rx(kind, rx_cost): one
+                # reception is charged per frame per alive target, and this
+                # loop runs for every reception of a trial.
+                node_ledger = ledger_nodes.get(target)
+                if node_ledger is None:
+                    node_ledger = ledger.node(target)
+                entry = node_ledger._entries[rx_key]
+                entry.count += 1
+                entry.cost += rx_cost
                 receiver = receivers.get(target)
                 if receiver is None:
                     continue

@@ -15,6 +15,7 @@ EXPECTED_DOCS = (
     "docs/architecture.md",
     "docs/experiments.md",
     "docs/reproducing.md",
+    "docs/vectorisation.md",
 )
 
 

@@ -1,0 +1,12 @@
+# reprolint-corpus: expect=RL202
+"""Known-bad: a strategy flag (tick_method-style) declared omit-when-unset
+must default to None -- a concrete default would make the omission rule
+never fire consistently, silently changing every existing cache key."""
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleConfig:
+    HASH_OMIT_WHEN_UNSET = ("tick_method",)
+
+    tick_method: str = "periodic"

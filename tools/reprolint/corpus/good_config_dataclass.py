@@ -1,16 +1,22 @@
 # reprolint-corpus: expect=
-"""Known-good: omit-when-unset field with a None default, constants."""
+"""Known-good: omit-when-unset fields with None defaults, constants.
+
+``tick_method`` mirrors the ExperimentConfig strategy-flag convention:
+None-defaulted, listed in HASH_OMIT_WHEN_UNSET, so unset configs keep
+their pre-flag cache keys while pinned strategies hash distinctly.
+"""
 import dataclasses
 from typing import Optional
 
 
 @dataclasses.dataclass(frozen=True)
 class SampleConfig:
-    HASH_OMIT_WHEN_UNSET = ("mode",)
+    HASH_OMIT_WHEN_UNSET = ("mode", "tick_method")
     MODES = ("waypoint", "group")
 
     rate: float = 0.1
     mode: Optional[str] = None
+    tick_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rate", float(self.rate))
